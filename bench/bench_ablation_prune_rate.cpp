@@ -1,0 +1,51 @@
+// Ablation (DESIGN.md): the dynamic-data-pruning rate e_r trades student
+// training time against F1. The paper grid-searches e_r in
+// {0.1, 0.2, 0.3, 0.4, 0.5}.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace promptem;
+  const auto& lm = bench::SharedLM();
+  baselines::RunOptions base = bench::DefaultRunOptions();
+
+  bench::PrintHeader(
+      "Ablation: dynamic-data-pruning rate e_r (time vs F1)",
+      "e_r = fraction of D_L pruned at each pruning step.");
+
+  const std::vector<double> rates = bench::FastMode()
+                                        ? std::vector<double>{0.0, 0.3}
+                                        : std::vector<double>{0.0, 0.1, 0.2,
+                                                              0.3, 0.4, 0.5};
+  const std::vector<data::BenchmarkKind> kinds = {
+      data::BenchmarkKind::kSemiHomo, data::BenchmarkKind::kSemiTextC};
+
+  std::vector<std::string> header = {"e_r"};
+  for (auto kind : kinds) {
+    std::string abbrev = data::GetBenchmarkInfo(kind).abbrev;
+    header.push_back(abbrev + " F1");
+    header.push_back(abbrev + " T.");
+  }
+  core::TablePrinter table(header);
+
+  for (double rate : rates) {
+    std::vector<std::string> row = {core::StrFormat("%.1f", rate)};
+    for (auto kind : kinds) {
+      data::GemDataset ds = data::GenerateBenchmark(kind, bench::kSeed);
+      data::LowResourceSplit split = bench::DefaultSplit(ds);
+      baselines::RunOptions options = base;
+      options.prune_ratio = rate;
+      baselines::Method method = rate == 0.0
+                                     ? baselines::Method::kPromptEMNoDDP
+                                     : baselines::Method::kPromptEM;
+      baselines::MethodResult r =
+          baselines::RunMethod(method, lm, kind, ds, split, options);
+      row.push_back(core::StrFormat("%.1f", r.test.F1() * 100));
+      row.push_back(core::FormatDuration(r.train_seconds));
+    }
+    table.AddRow(std::move(row));
+    std::fprintf(stderr, "[prune_rate] e_r=%.1f done\n", rate);
+  }
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives underneath
+// every experiment: GEMM, softmax, layer-norm, the tokenizer, the §2.2
+// serializer, one transformer forward pass, and one TDmatch PPR sweep.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/tdmatch.h"
+#include "core/rng.h"
+#include "data/benchmarks.h"
+#include "data/serializer.h"
+#include "nn/transformer.h"
+#include "tensor/kernels.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace promptem;
+
+void BM_Gemm(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<float> a(static_cast<size_t>(n) * n, 1.0f);
+  std::vector<float> b(static_cast<size_t>(n) * n, 2.0f);
+  std::vector<float> c(static_cast<size_t>(n) * n, 0.0f);
+  for (auto _ : state) {
+    tensor::kernels::Gemm(false, false, n, n, n, 1.0f, a.data(), b.data(),
+                          0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GemmTransB(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<float> a(static_cast<size_t>(n) * n, 1.0f);
+  std::vector<float> b(static_cast<size_t>(n) * n, 2.0f);
+  std::vector<float> c(static_cast<size_t>(n) * n, 0.0f);
+  for (auto _ : state) {
+    tensor::kernels::Gemm(false, true, n, n, n, 1.0f, a.data(), b.data(),
+                          0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTransB)->Arg(64);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  const int rows = 64;
+  const int cols = static_cast<int>(state.range(0));
+  std::vector<float> x(static_cast<size_t>(rows) * cols, 0.5f);
+  std::vector<float> y(x.size());
+  for (auto _ : state) {
+    tensor::kernels::SoftmaxRows(x.data(), rows, cols, y.data());
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows)->Arg(64)->Arg(2048);
+
+void BM_LayerNorm(benchmark::State& state) {
+  const int rows = 96;
+  const int cols = 32;
+  std::vector<float> x(static_cast<size_t>(rows) * cols, 0.5f);
+  std::vector<float> gamma(cols, 1.0f);
+  std::vector<float> beta(cols, 0.0f);
+  std::vector<float> out(x.size());
+  std::vector<float> mean(rows);
+  std::vector<float> rstd(rows);
+  for (auto _ : state) {
+    tensor::kernels::LayerNormForward(x.data(), rows, cols, gamma.data(),
+                                      beta.data(), 1e-5f, out.data(),
+                                      mean.data(), rstd.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_LayerNorm);
+
+void BM_Tokenize(benchmark::State& state) {
+  data::GemDataset ds =
+      data::GenerateBenchmark(data::BenchmarkKind::kSemiHomo, 42);
+  const std::string text = data::SerializeRecord(ds.left_table[0]);
+  for (auto _ : state) {
+    auto tokens = text::WordTokenize(text);
+    benchmark::DoNotOptimize(tokens);
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_SerializeRecord(benchmark::State& state) {
+  data::GemDataset ds =
+      data::GenerateBenchmark(data::BenchmarkKind::kSemiRel, 42);
+  for (auto _ : state) {
+    std::string s = data::SerializeRecord(ds.left_table[0]);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SerializeRecord);
+
+void BM_TransformerForward(benchmark::State& state) {
+  nn::TransformerConfig config;
+  config.vocab_size = 2000;
+  config.max_seq_len = 96;
+  config.dim = 32;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.ffn_dim = 64;
+  config.dropout = 0.0f;
+  core::Rng rng(1);
+  nn::TransformerEncoder encoder(config, &rng);
+  encoder.SetTraining(false);
+  std::vector<int> ids(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = 7 + static_cast<int>(i % 1900);
+  }
+  for (auto _ : state) {
+    auto h = encoder.Encode(ids, &rng);
+    benchmark::DoNotOptimize(h.data());
+  }
+}
+BENCHMARK(BM_TransformerForward)->Arg(32)->Arg(96);
+
+void BM_TdMatchPpr(benchmark::State& state) {
+  data::GemDataset ds =
+      data::GenerateBenchmark(data::BenchmarkKind::kSemiHeter, 42);
+  baselines::TdMatchGraph graph(ds);
+  for (auto _ : state) {
+    auto ppr = graph.Ppr(graph.LeftNode(0));
+    benchmark::DoNotOptimize(ppr);
+  }
+  state.counters["nodes"] = graph.num_nodes();
+  state.counters["edges"] = static_cast<double>(graph.num_edges());
+}
+BENCHMARK(BM_TdMatchPpr);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+#ifndef PROMPTEM_BENCH_BENCH_UTIL_H_
+#define PROMPTEM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "baselines/common.h"
+#include "core/string_util.h"
+#include "core/table_printer.h"
+#include "core/timer.h"
+#include "data/benchmarks.h"
+#include "lm/pretrained_lm.h"
+
+namespace promptem::bench {
+
+/// Seed shared by the whole harness so every table is reproducible.
+inline constexpr uint64_t kSeed = 42;
+
+/// True when PROMPTEM_BENCH_FAST=1: shrink epochs for smoke runs.
+inline bool FastMode() {
+  const char* env = std::getenv("PROMPTEM_BENCH_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+/// The shared pre-trained LM, cached on disk in the working directory
+/// (first call pre-trains; later binaries load instantly).
+inline const lm::PretrainedLM& SharedLM() {
+  static const lm::PretrainedLM* kLm =
+      lm::GetOrCreateSharedLM("promptem_shared_lm", kSeed).release();
+  return *kLm;
+}
+
+/// Harness-wide training options (scaled-down stand-ins for the paper's
+/// 20 teacher / 30 student epochs).
+inline baselines::RunOptions DefaultRunOptions() {
+  baselines::RunOptions options;
+  options.seed = kSeed;
+  if (FastMode()) {
+    options.epochs = 2;
+    options.student_epochs = 2;
+    options.mc_passes = 3;
+  }
+  return options;
+}
+
+/// Prints the standard bench header naming the experiment.
+inline void PrintHeader(const std::string& title, const std::string& note) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Default low-resource split for a dataset (Table 1 rates).
+inline data::LowResourceSplit DefaultSplit(const data::GemDataset& dataset) {
+  core::Rng rng(kSeed);
+  return data::MakeLowResourceSplit(dataset, dataset.default_rate, &rng);
+}
+
+}  // namespace promptem::bench
+
+#endif  // PROMPTEM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,49 @@
+// GEO-HETER geospatial matching: venues with split latitude/longitude
+// attributes (left) against a provider with a combined, coarser
+// "position" attribute (right). Demonstrates heterogeneous-schema GEM and
+// how candidate difficulty relates to coordinate precision.
+
+#include <cstdio>
+
+#include "baselines/common.h"
+#include "data/benchmarks.h"
+#include "data/serializer.h"
+#include "lm/pretrained_lm.h"
+#include "promptem/promptem.h"
+
+int main() {
+  using namespace promptem;
+  const uint64_t kSeed = 42;
+
+  data::GemDataset ds =
+      data::GenerateBenchmark(data::BenchmarkKind::kGeoHeter, kSeed);
+  std::printf("Dataset %s — heterogeneous geo schemas:\n", ds.name.c_str());
+  std::printf("  left:  %.180s\n",
+              data::SerializeRecord(ds.left_table[0]).c_str());
+  std::printf("  right: %.180s\n\n",
+              data::SerializeRecord(ds.right_table[0]).c_str());
+  std::printf("Note the split latitude/longitude vs the combined coarser "
+              "position attribute\n(the paper's GEO-HETER construction, "
+              "Appendix E).\n\n");
+
+  auto lm = lm::GetOrCreateSharedLM("promptem_shared_lm", kSeed);
+  core::Rng rng(kSeed);
+  data::LowResourceSplit split =
+      data::MakeLowResourceSplit(ds, ds.default_rate, &rng);
+
+  baselines::RunOptions options;
+  auto result = baselines::RunMethod(baselines::Method::kPromptEM, *lm,
+                                     data::BenchmarkKind::kGeoHeter, ds,
+                                     split, options);
+  std::printf("PromptEM on %s: %s\n", ds.name.c_str(),
+              result.test.ToString().c_str());
+
+  // Unsupervised comparison: the graph matcher cannot bridge the
+  // precision gap between the coordinate encodings.
+  auto tdmatch = baselines::RunMethod(baselines::Method::kTdMatch, *lm,
+                                      data::BenchmarkKind::kGeoHeter, ds,
+                                      split, options);
+  std::printf("TDmatch  on %s: %s\n", ds.name.c_str(),
+              tdmatch.test.ToString().c_str());
+  return 0;
+}

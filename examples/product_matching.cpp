@@ -1,0 +1,52 @@
+// SEMI-TEXT product matching: semi-structured product specs (left)
+// against long noisy marketing descriptions (right). Demonstrates the
+// Appendix-F TF-IDF summarizer on long entries and compares PromptEM
+// with the fine-tuning baseline on the same split.
+
+#include <cstdio>
+
+#include "baselines/common.h"
+#include "data/benchmarks.h"
+#include "data/serializer.h"
+#include "lm/pretrained_lm.h"
+#include "promptem/promptem.h"
+#include "text/tokenizer.h"
+
+int main() {
+  using namespace promptem;
+  const uint64_t kSeed = 42;
+
+  data::GemDataset ds =
+      data::GenerateBenchmark(data::BenchmarkKind::kSemiTextC, kSeed);
+  auto lm = lm::GetOrCreateSharedLM("promptem_shared_lm", kSeed);
+
+  // The right table is long text; the encoder summarizes it by TF-IDF.
+  em::PairEncoder encoder = em::MakePairEncoder(*lm, ds);
+  const data::Record& long_text = ds.right_table.front();
+  auto raw_tokens =
+      text::WordTokenize(data::SerializeRecord(long_text));
+  auto kept = encoder.EncodeRecord(long_text);
+  std::printf("long product description: %zu tokens -> %zu after TF-IDF "
+              "summarization (budget %d)\n\n",
+              raw_tokens.size(), kept.size(), encoder.per_side_budget());
+
+  core::Rng rng(kSeed);
+  data::LowResourceSplit split =
+      data::MakeLowResourceSplit(ds, ds.default_rate, &rng);
+
+  baselines::RunOptions options;
+  auto prompt = baselines::RunMethod(baselines::Method::kPromptEM, *lm,
+                                     data::BenchmarkKind::kSemiTextC, ds,
+                                     split, options);
+  auto finetune = baselines::RunMethod(baselines::Method::kBert, *lm,
+                                       data::BenchmarkKind::kSemiTextC, ds,
+                                       split, options);
+  std::printf("PromptEM    : %s (%.1fs)\n", prompt.test.ToString().c_str(),
+              prompt.train_seconds);
+  std::printf("fine-tuning : %s (%.1fs)\n",
+              finetune.test.ToString().c_str(), finetune.train_seconds);
+  std::printf("\nPrompt-tuning reuses the pre-trained MLM head, which is "
+              "what keeps it ahead when only %zu labels exist.\n",
+              split.labeled.size());
+  return 0;
+}

@@ -1,0 +1,10 @@
+#include "baselines/bert_ft.h"
+
+namespace promptem::baselines {
+
+std::unique_ptr<em::PairClassifier> MakeBertBaseline(
+    const lm::PretrainedLM& lm, core::Rng* rng) {
+  return std::make_unique<em::FinetuneModel>(lm, rng);
+}
+
+}  // namespace promptem::baselines

@@ -1,0 +1,19 @@
+#ifndef PROMPTEM_BASELINES_BERT_FT_H_
+#define PROMPTEM_BASELINES_BERT_FT_H_
+
+#include <memory>
+
+#include "promptem/finetune_model.h"
+
+namespace promptem::baselines {
+
+/// The BERT baseline of §5.1: vanilla sequence-pair fine-tuning of the
+/// pre-trained LM. Architecturally identical to em::FinetuneModel (which
+/// also serves as PromptEM w/o PT); this factory exists so the benchmark
+/// registry reads naturally.
+std::unique_ptr<em::PairClassifier> MakeBertBaseline(
+    const lm::PretrainedLM& lm, core::Rng* rng);
+
+}  // namespace promptem::baselines
+
+#endif  // PROMPTEM_BASELINES_BERT_FT_H_

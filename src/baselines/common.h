@@ -1,0 +1,75 @@
+#ifndef PROMPTEM_BASELINES_COMMON_H_
+#define PROMPTEM_BASELINES_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "data/benchmarks.h"
+#include "lm/pretrained_lm.h"
+#include "promptem/promptem.h"
+
+namespace promptem::baselines {
+
+/// Every method the paper evaluates (Tables 2, 3, 6), including PromptEM's
+/// ablations.
+enum class Method {
+  kDeepMatcher,
+  kBert,
+  kSentenceBert,
+  kDitto,
+  kDader,
+  kRotom,
+  kTdMatch,
+  kTdMatchStar,
+  kPromptEM,
+  kPromptEMNoPT,   ///< w/o prompt-tuning (fine-tune instead)
+  kPromptEMNoLST,  ///< w/o lightweight self-training (teacher only)
+  kPromptEMNoDDP,  ///< w/o dynamic data pruning (a.k.a. "PromptEM-")
+};
+
+const char* MethodName(Method method);
+
+/// The eight baselines in Table 2's row order (PromptEM rows excluded).
+const std::vector<Method>& BaselineMethods();
+
+/// All PromptEM variants (main + three ablations).
+const std::vector<Method>& PromptEmVariants();
+
+/// Knobs shared by the harness. Epoch counts are scaled-down stand-ins
+/// for the paper's 20 teacher / 30 student epochs.
+struct RunOptions {
+  uint64_t seed = 42;
+  int epochs = 12;          ///< baselines and PromptEM's teacher
+  int student_epochs = 14;  ///< PromptEM's student
+  float lr = 5e-3f;
+  int batch_size = 8;
+  int mc_passes = 10;
+  double pseudo_ratio = 0.10;  ///< u_r
+  double prune_ratio = 0.20;   ///< e_r
+  int prune_every = 2;
+};
+
+/// One method's outcome on one dataset split.
+struct MethodResult {
+  em::Metrics test;
+  em::Metrics valid;
+  double train_seconds = 0.0;
+  size_t peak_memory_bytes = 0;
+};
+
+/// Trains and evaluates `method` on the split. `kind` identifies the
+/// benchmark (DADER derives its source dataset from it).
+MethodResult RunMethod(Method method, const lm::PretrainedLM& lm,
+                       data::BenchmarkKind kind,
+                       const data::GemDataset& dataset,
+                       const data::LowResourceSplit& split,
+                       const RunOptions& options);
+
+/// Builds the PromptEMConfig a given PromptEM variant uses (shared by
+/// RunMethod and the ablation benches).
+em::PromptEMConfig MakePromptEmConfig(Method method,
+                                      const RunOptions& options);
+
+}  // namespace promptem::baselines
+
+#endif  // PROMPTEM_BASELINES_COMMON_H_

@@ -1,0 +1,55 @@
+#include "baselines/deepmatcher.h"
+
+#include "tensor/autograd.h"
+#include "tensor/kernels.h"
+
+namespace promptem::baselines {
+
+namespace ops = tensor::ops;
+
+DeepMatcherModel::DeepMatcherModel(const text::Vocab& vocab, int embed_dim,
+                                   int hidden_dim, core::Rng* rng)
+    : embedding_(vocab.size(), embed_dim, rng),
+      aggregator_(embed_dim, hidden_dim, rng) {
+  const int rep = 2 * hidden_dim;  // BiLSTM output per side
+  head_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{4 * rep, rep, 2}, rng, /*dropout=*/0.1f);
+  RegisterModule("embedding", &embedding_);
+  RegisterModule("aggregator", &aggregator_);
+  RegisterModule("head", head_.get());
+}
+
+tensor::Tensor DeepMatcherModel::EncodeSide(const std::vector<int>& ids,
+                                            core::Rng* rng) const {
+  (void)rng;
+  std::vector<int> safe = ids;
+  if (safe.empty()) safe.push_back(text::SpecialTokens::kPad);
+  tensor::Tensor embedded = embedding_.Forward(safe);
+  tensor::Tensor states = aggregator_.Forward(embedded);
+  return ops::MeanRows(states);
+}
+
+tensor::Tensor DeepMatcherModel::Logits(const em::EncodedPair& x,
+                                        core::Rng* rng) const {
+  tensor::Tensor u = EncodeSide(x.left_ids, rng);
+  tensor::Tensor v = EncodeSide(x.right_ids, rng);
+  tensor::Tensor features =
+      ops::ConcatCols({u, v, ops::Abs(ops::Sub(u, v)), ops::Mul(u, v)});
+  return head_->Forward(features, rng);
+}
+
+tensor::Tensor DeepMatcherModel::Loss(const em::EncodedPair& x, int label,
+                                      core::Rng* rng) {
+  return ops::CrossEntropyLogits(Logits(x, rng), {label});
+}
+
+std::array<float, 2> DeepMatcherModel::Probs(const em::EncodedPair& x,
+                                             core::Rng* rng) {
+  tensor::NoGradGuard no_grad;
+  tensor::Tensor logits = Logits(x, rng);
+  float p[2];
+  tensor::kernels::SoftmaxRows(logits.data(), 1, 2, p);
+  return {p[0], p[1]};
+}
+
+}  // namespace promptem::baselines

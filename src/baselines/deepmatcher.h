@@ -1,0 +1,40 @@
+#ifndef PROMPTEM_BASELINES_DEEPMATCHER_H_
+#define PROMPTEM_BASELINES_DEEPMATCHER_H_
+
+#include <memory>
+
+#include "nn/lstm.h"
+#include "promptem/trainer.h"
+#include "text/vocab.h"
+
+namespace promptem::baselines {
+
+/// DeepMatcher (Mudgal et al., SIGMOD'18), hybrid-model spirit: each side's
+/// serialized tokens go through an embedding + BiLSTM aggregator; the two
+/// aggregated representations are compared with a (u, v, |u-v|, u*v) MLP.
+/// No pre-trained LM is involved (the paper's reason it trails LM methods).
+class DeepMatcherModel : public nn::Module, public em::PairClassifier {
+ public:
+  DeepMatcherModel(const text::Vocab& vocab, int embed_dim, int hidden_dim,
+                   core::Rng* rng);
+
+  tensor::Tensor Loss(const em::EncodedPair& x, int label,
+                      core::Rng* rng) override;
+  std::array<float, 2> Probs(const em::EncodedPair& x,
+                             core::Rng* rng) override;
+  nn::Module* AsModule() override { return this; }
+
+ private:
+  /// Aggregates one side into [1, 2*hidden].
+  tensor::Tensor EncodeSide(const std::vector<int>& ids,
+                            core::Rng* rng) const;
+  tensor::Tensor Logits(const em::EncodedPair& x, core::Rng* rng) const;
+
+  nn::Embedding embedding_;
+  nn::BiLstm aggregator_;
+  std::unique_ptr<nn::Mlp> head_;
+};
+
+}  // namespace promptem::baselines
+
+#endif  // PROMPTEM_BASELINES_DEEPMATCHER_H_

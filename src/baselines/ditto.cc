@@ -1,0 +1,71 @@
+#include "baselines/ditto.h"
+
+#include <algorithm>
+
+namespace promptem::baselines {
+
+namespace {
+
+void DeleteSpan(std::vector<int>* ids, core::Rng* rng) {
+  if (ids->size() < 4) return;
+  const size_t span = 1 + rng->NextU64(std::min<size_t>(3, ids->size() / 4));
+  const size_t start = rng->NextU64(ids->size() - span);
+  ids->erase(ids->begin() + static_cast<long>(start),
+             ids->begin() + static_cast<long>(start + span));
+}
+
+void ShuffleSpan(std::vector<int>* ids, core::Rng* rng) {
+  if (ids->size() < 4) return;
+  const size_t span =
+      2 + rng->NextU64(std::min<size_t>(3, ids->size() / 2 - 1));
+  const size_t start = rng->NextU64(ids->size() - span);
+  std::vector<int> window(ids->begin() + static_cast<long>(start),
+                          ids->begin() + static_cast<long>(start + span));
+  rng->Shuffle(&window);
+  std::copy(window.begin(), window.end(),
+            ids->begin() + static_cast<long>(start));
+}
+
+void TruncateTail(std::vector<int>* ids, core::Rng* rng) {
+  if (ids->size() < 4) return;
+  const size_t keep =
+      ids->size() - 1 - rng->NextU64(std::min<size_t>(3, ids->size() / 4));
+  ids->resize(keep);
+}
+
+}  // namespace
+
+em::EncodedPair Augment(const em::EncodedPair& x, AugOp op, core::Rng* rng) {
+  em::EncodedPair out = x;
+  std::vector<int>* side = rng->Bernoulli(0.5) ? &out.left_ids
+                                               : &out.right_ids;
+  switch (op) {
+    case AugOp::kSpanDeletion:
+      DeleteSpan(side, rng);
+      break;
+    case AugOp::kTokenShuffle:
+      ShuffleSpan(side, rng);
+      break;
+    case AugOp::kSideTruncate:
+      TruncateTail(side, rng);
+      break;
+  }
+  return out;
+}
+
+std::vector<em::EncodedPair> AugmentSet(
+    const std::vector<em::EncodedPair>& examples, int copies,
+    core::Rng* rng) {
+  static constexpr AugOp kOps[] = {AugOp::kSpanDeletion, AugOp::kTokenShuffle,
+                                   AugOp::kSideTruncate};
+  std::vector<em::EncodedPair> out;
+  out.reserve(examples.size() * static_cast<size_t>(copies));
+  for (const auto& x : examples) {
+    for (int c = 0; c < copies; ++c) {
+      out.push_back(Augment(x, kOps[rng->NextU64(3)], rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace promptem::baselines

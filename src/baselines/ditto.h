@@ -1,0 +1,31 @@
+#ifndef PROMPTEM_BASELINES_DITTO_H_
+#define PROMPTEM_BASELINES_DITTO_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "promptem/encoding.h"
+
+namespace promptem::baselines {
+
+/// Ditto-style data augmentation operators (Li et al., PVLDB'21).
+/// Operators act on the token-id level of one encoded pair.
+enum class AugOp {
+  kSpanDeletion,   ///< drop a short contiguous span from one side
+  kTokenShuffle,   ///< locally shuffle a short span
+  kSideTruncate,   ///< drop the tail of one side
+};
+
+/// Applies one operator to a copy of `x` (label preserved — Ditto's
+/// augmentations are label-invariant by construction).
+em::EncodedPair Augment(const em::EncodedPair& x, AugOp op, core::Rng* rng);
+
+/// Produces `copies` augmented variants of every example with random
+/// operators. The returned vector holds only the new examples.
+std::vector<em::EncodedPair> AugmentSet(
+    const std::vector<em::EncodedPair>& examples, int copies,
+    core::Rng* rng);
+
+}  // namespace promptem::baselines
+
+#endif  // PROMPTEM_BASELINES_DITTO_H_

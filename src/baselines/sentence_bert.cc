@@ -1,0 +1,56 @@
+#include "baselines/sentence_bert.h"
+
+#include "tensor/autograd.h"
+#include "tensor/kernels.h"
+
+namespace promptem::baselines {
+
+namespace ops = tensor::ops;
+using text::SpecialTokens;
+
+SentenceBertModel::SentenceBertModel(const lm::PretrainedLM& lm,
+                                     core::Rng* rng)
+    : encoder_(lm.CloneEncoder(rng)) {
+  const int dim = encoder_->config().dim;
+  head_ = std::make_unique<nn::Linear>(4 * dim, 2, rng);
+  RegisterModule("encoder", encoder_.get());
+  RegisterModule("head", head_.get());
+}
+
+tensor::Tensor SentenceBertModel::EncodeSide(const std::vector<int>& ids,
+                                             core::Rng* rng) const {
+  const int budget = encoder_->config().max_seq_len - 2;
+  std::vector<int> input;
+  input.push_back(SpecialTokens::kCls);
+  for (size_t i = 0; i < ids.size() && static_cast<int>(i) < budget; ++i) {
+    input.push_back(ids[i]);
+  }
+  input.push_back(SpecialTokens::kSep);
+  tensor::Tensor hidden = encoder_->Encode(input, rng);
+  return ops::MeanRows(hidden);
+}
+
+tensor::Tensor SentenceBertModel::Logits(const em::EncodedPair& x,
+                                         core::Rng* rng) const {
+  tensor::Tensor u = EncodeSide(x.left_ids, rng);
+  tensor::Tensor v = EncodeSide(x.right_ids, rng);
+  tensor::Tensor features =
+      ops::ConcatCols({u, v, ops::Abs(ops::Sub(u, v)), ops::Mul(u, v)});
+  return head_->Forward(features);
+}
+
+tensor::Tensor SentenceBertModel::Loss(const em::EncodedPair& x, int label,
+                                       core::Rng* rng) {
+  return ops::CrossEntropyLogits(Logits(x, rng), {label});
+}
+
+std::array<float, 2> SentenceBertModel::Probs(const em::EncodedPair& x,
+                                              core::Rng* rng) {
+  tensor::NoGradGuard no_grad;
+  tensor::Tensor logits = Logits(x, rng);
+  float p[2];
+  tensor::kernels::SoftmaxRows(logits.data(), 1, 2, p);
+  return {p[0], p[1]};
+}
+
+}  // namespace promptem::baselines

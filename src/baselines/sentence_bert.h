@@ -1,0 +1,35 @@
+#ifndef PROMPTEM_BASELINES_SENTENCE_BERT_H_
+#define PROMPTEM_BASELINES_SENTENCE_BERT_H_
+
+#include <memory>
+
+#include "lm/pretrained_lm.h"
+#include "promptem/trainer.h"
+
+namespace promptem::baselines {
+
+/// SentenceBERT (Reimers & Gurevych, EMNLP'19): a siamese encoder — each
+/// side is encoded independently and mean-pooled; the classifier reads
+/// (u, v, |u-v|, u*v). Both sides share one encoder (tied weights).
+class SentenceBertModel : public nn::Module, public em::PairClassifier {
+ public:
+  SentenceBertModel(const lm::PretrainedLM& lm, core::Rng* rng);
+
+  tensor::Tensor Loss(const em::EncodedPair& x, int label,
+                      core::Rng* rng) override;
+  std::array<float, 2> Probs(const em::EncodedPair& x,
+                             core::Rng* rng) override;
+  nn::Module* AsModule() override { return this; }
+
+ private:
+  tensor::Tensor EncodeSide(const std::vector<int>& ids,
+                            core::Rng* rng) const;
+  tensor::Tensor Logits(const em::EncodedPair& x, core::Rng* rng) const;
+
+  std::unique_ptr<nn::TransformerEncoder> encoder_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace promptem::baselines
+
+#endif  // PROMPTEM_BASELINES_SENTENCE_BERT_H_

@@ -1,0 +1,247 @@
+#include "baselines/tdmatch.h"
+
+#include <cctype>
+#include <cmath>
+#include <algorithm>
+#include <map>
+
+#include "core/mem_tracker.h"
+#include "core/status.h"
+#include "data/serializer.h"
+
+namespace promptem::baselines {
+
+std::vector<std::string> GraphTokenize(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      out.push_back(current);
+      current.clear();
+    }
+  };
+  for (char raw : text) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return out;
+}
+
+TdMatchGraph::TdMatchGraph(const data::GemDataset& dataset) {
+  num_left_ = static_cast<int>(dataset.left_table.size());
+  num_right_ = static_cast<int>(dataset.right_table.size());
+
+  // Token vocabulary over both tables; tag tokens ([COL]/attribute names)
+  // participate too, which links records of the same schema.
+  std::map<std::string, int> token_ids;
+  std::vector<std::vector<int>> record_tokens;
+  std::map<std::string, int> doc_freq;
+  record_tokens.reserve(static_cast<size_t>(num_left_ + num_right_));
+
+  auto add_record = [&](const data::Record& record) {
+    const auto tokens = GraphTokenize(data::SerializeRecord(record));
+    std::vector<int> ids;
+    std::map<std::string, bool> seen;
+    for (const auto& tok : tokens) {
+      auto [it, inserted] =
+          token_ids.emplace(tok, static_cast<int>(token_ids.size()));
+      ids.push_back(it->second);
+      if (!seen.count(tok)) {
+        seen[tok] = true;
+        ++doc_freq[tok];
+      }
+    }
+    record_tokens.push_back(std::move(ids));
+  };
+  for (const auto& r : dataset.left_table) add_record(r);
+  for (const auto& r : dataset.right_table) add_record(r);
+
+  const int num_records = num_left_ + num_right_;
+  const int num_tokens = static_cast<int>(token_ids.size());
+  num_nodes_ = num_records + num_tokens;
+
+  // IDF per token id.
+  std::vector<float> idf(static_cast<size_t>(num_tokens), 1.0f);
+  const double n_docs = static_cast<double>(num_records);
+  for (const auto& [tok, id] : token_ids) {
+    idf[static_cast<size_t>(id)] = static_cast<float>(
+        std::log((1.0 + n_docs) / (1.0 + doc_freq[tok])) + 1.0);
+  }
+
+  // Build symmetric record<->token edges with TF-IDF weights.
+  std::vector<std::map<int, float>> adjacency(
+      static_cast<size_t>(num_nodes_));
+  for (int r = 0; r < num_records; ++r) {
+    std::map<int, int> tf;
+    for (int t : record_tokens[static_cast<size_t>(r)]) ++tf[t];
+    for (const auto& [t, count] : tf) {
+      const int token_node = num_records + t;
+      const float w =
+          static_cast<float>(count) * idf[static_cast<size_t>(t)];
+      adjacency[static_cast<size_t>(r)][token_node] += w;
+      adjacency[static_cast<size_t>(token_node)][r] += w;
+    }
+  }
+
+  // CSR.
+  row_start_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  for (int v = 0; v < num_nodes_; ++v) {
+    row_start_[static_cast<size_t>(v) + 1] =
+        row_start_[static_cast<size_t>(v)] +
+        static_cast<int64_t>(adjacency[static_cast<size_t>(v)].size());
+  }
+  col_.reserve(static_cast<size_t>(row_start_.back()));
+  weight_.reserve(static_cast<size_t>(row_start_.back()));
+  out_weight_.assign(static_cast<size_t>(num_nodes_), 0.0f);
+  for (int v = 0; v < num_nodes_; ++v) {
+    float total = 0.0f;
+    for (const auto& [u, w] : adjacency[static_cast<size_t>(v)]) {
+      col_.push_back(u);
+      weight_.push_back(w);
+      total += w;
+    }
+    out_weight_[static_cast<size_t>(v)] = total;
+  }
+}
+
+std::vector<float> TdMatchGraph::PprUncached(int source, int iterations,
+                                             float restart) const {
+  PROMPTEM_CHECK(source >= 0 && source < num_nodes_);
+  std::vector<float> p(static_cast<size_t>(num_nodes_), 0.0f);
+  std::vector<float> next(static_cast<size_t>(num_nodes_), 0.0f);
+  p[static_cast<size_t>(source)] = 1.0f;
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0f);
+    next[static_cast<size_t>(source)] = restart;
+    for (int v = 0; v < num_nodes_; ++v) {
+      const float pv = p[static_cast<size_t>(v)];
+      if (pv <= 0.0f || out_weight_[static_cast<size_t>(v)] <= 0.0f) {
+        continue;
+      }
+      const float share =
+          (1.0f - restart) * pv / out_weight_[static_cast<size_t>(v)];
+      for (int64_t e = row_start_[static_cast<size_t>(v)];
+           e < row_start_[static_cast<size_t>(v) + 1]; ++e) {
+        next[static_cast<size_t>(col_[static_cast<size_t>(e)])] +=
+            share * weight_[static_cast<size_t>(e)];
+      }
+    }
+    std::swap(p, next);
+  }
+  return p;
+}
+
+std::vector<float> TdMatchGraph::Ppr(int source, int iterations,
+                                     float restart) const {
+  return PprUncached(source, iterations, restart);
+}
+
+float TdMatchGraph::PairScore(int left_index, int right_index) const {
+  const std::vector<float> p = Ppr(LeftNode(left_index));
+  return p[static_cast<size_t>(RightNode(right_index))];
+}
+
+std::vector<int> TdMatchGraph::PredictPairs(
+    const std::vector<data::PairExample>& pairs) const {
+  // Collect the distinct left/right records among the candidates and
+  // compute PPR once per record.
+  std::map<int, std::vector<float>> left_ppr;
+  std::map<int, std::vector<float>> right_ppr;
+  for (const auto& pr : pairs) {
+    if (!left_ppr.count(pr.left_index)) {
+      left_ppr[pr.left_index] = Ppr(LeftNode(pr.left_index));
+    }
+    if (!right_ppr.count(pr.right_index)) {
+      right_ppr[pr.right_index] = Ppr(RightNode(pr.right_index));
+    }
+  }
+  // Global mutual best match: each side's PPR is ranked against every
+  // record of the other table (TDmatch ranks whole tables, not just the
+  // candidate list).
+  auto argmax_right = [&](const std::vector<float>& ppr) {
+    int best = 0;
+    float best_score = -1.0f;
+    for (int j = 0; j < num_right_; ++j) {
+      const float s = ppr[static_cast<size_t>(RightNode(j))];
+      if (s > best_score) {
+        best_score = s;
+        best = j;
+      }
+    }
+    return best;
+  };
+  auto argmax_left = [&](const std::vector<float>& ppr) {
+    int best = 0;
+    float best_score = -1.0f;
+    for (int i = 0; i < num_left_; ++i) {
+      const float s = ppr[static_cast<size_t>(LeftNode(i))];
+      if (s > best_score) {
+        best_score = s;
+        best = i;
+      }
+    }
+    return best;
+  };
+  std::vector<int> predictions;
+  predictions.reserve(pairs.size());
+  for (const auto& pr : pairs) {
+    const bool mutual =
+        argmax_right(left_ppr[pr.left_index]) == pr.right_index &&
+        argmax_left(right_ppr[pr.right_index]) == pr.left_index;
+    predictions.push_back(mutual ? 1 : 0);
+  }
+  return predictions;
+}
+
+TdMatchGraph::~TdMatchGraph() {
+  if (tracked_bytes_ > 0) core::MemTracker::Sub(tracked_bytes_);
+}
+
+void TdMatchGraph::ComputeAllEmbeddings() {
+  // The whole-graph random-walk phase: one dense PPR vector per record.
+  // O(records * iterations * edges) time and O(records * nodes) memory —
+  // the scalability bottleneck the paper measures in Table 4.
+  const int num_records = num_left_ + num_right_;
+  embeddings_.clear();
+  embeddings_.reserve(static_cast<size_t>(num_records));
+  for (int r = 0; r < num_records; ++r) {
+    embeddings_.push_back(PprUncached(r, /*iterations=*/20,
+                                      /*restart=*/0.15f));
+  }
+  if (tracked_bytes_ > 0) core::MemTracker::Sub(tracked_bytes_);
+  tracked_bytes_ = static_cast<size_t>(num_records) *
+                   static_cast<size_t>(num_nodes_) * sizeof(float);
+  core::MemTracker::Add(tracked_bytes_);
+}
+
+std::vector<float> TdMatchGraph::ProjectedEmbedding(bool left, int index,
+                                                    int dim,
+                                                    uint64_t seed) const {
+  const int node = left ? LeftNode(index) : RightNode(index);
+  std::vector<float> ppr =
+      embeddings_.empty()
+          ? PprUncached(node, 20, 0.15f)
+          : embeddings_[static_cast<size_t>(node)];
+  // Seeded sparse random projection (+1/-1), deterministic per (seed, dim).
+  std::vector<float> out(static_cast<size_t>(dim), 0.0f);
+  for (int j = 0; j < num_nodes_; ++j) {
+    const float v = ppr[static_cast<size_t>(j)];
+    if (v == 0.0f) continue;
+    // Cheap per-(row, col) hash for the projection sign and bucket.
+    uint64_t h = seed ^ (static_cast<uint64_t>(j) * 0x9E3779B97F4A7C15ULL);
+    h ^= h >> 29;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 32;
+    const int bucket = static_cast<int>(h % static_cast<uint64_t>(dim));
+    const float sign = (h >> 60) & 1 ? 1.0f : -1.0f;
+    out[static_cast<size_t>(bucket)] += sign * v;
+  }
+  return out;
+}
+
+}  // namespace promptem::baselines

@@ -1,0 +1,85 @@
+#ifndef PROMPTEM_BASELINES_TDMATCH_H_
+#define PROMPTEM_BASELINES_TDMATCH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace promptem::baselines {
+
+/// TDmatch (Ahmadi et al., ICDE'22): unsupervised matching of structured
+/// and textual data via a record-token graph and random walks with
+/// restart (RWR / personalized PageRank).
+///
+/// Unlike the LM pipeline, the graph tokenizer keeps digit runs whole, so
+/// exact identifier matches ("9780672336072") are first-class edges — the
+/// reason TDmatch wins on digit-heavy SEMI-HETER in the paper while its
+/// random walks blow up in time and memory on large inputs (Table 4).
+class TdMatchGraph {
+ public:
+  explicit TdMatchGraph(const data::GemDataset& dataset);
+  ~TdMatchGraph();
+
+  TdMatchGraph(const TdMatchGraph&) = delete;
+  TdMatchGraph& operator=(const TdMatchGraph&) = delete;
+
+  int num_nodes() const { return num_nodes_; }
+  int num_left() const { return num_left_; }
+  int num_right() const { return num_right_; }
+  int64_t num_edges() const { return static_cast<int64_t>(col_.size()); }
+
+  int LeftNode(int i) const { return i; }
+  int RightNode(int j) const { return num_left_ + j; }
+
+  /// Personalized PageRank from `source` by power iteration.
+  std::vector<float> Ppr(int source, int iterations = 20,
+                         float restart = 0.15f) const;
+
+  /// RWR score of the candidate (left i, right j).
+  float PairScore(int left_index, int right_index) const;
+
+  /// Unsupervised predictions for candidate pairs: a pair matches when
+  /// each side is the other's best-scoring counterpart among the
+  /// candidates (mutual best match).
+  std::vector<int> PredictPairs(
+      const std::vector<data::PairExample>& pairs) const;
+
+  /// Dense PPR "embeddings" for every record node — the expensive
+  /// whole-graph random-walk phase whose cost Table 4 measures. Bytes are
+  /// tracked via tensor storage.
+  void ComputeAllEmbeddings();
+  bool embeddings_ready() const { return !embeddings_.empty(); }
+
+  /// Fixed random projection of a record's PPR vector to `dim` floats
+  /// (the representation TDmatch* trains its MLP on).
+  std::vector<float> ProjectedEmbedding(bool left, int index, int dim,
+                                        uint64_t seed) const;
+
+ private:
+  std::vector<float> PprUncached(int source, int iterations,
+                                 float restart) const;
+
+  // CSR adjacency (symmetric, weighted).
+  std::vector<int64_t> row_start_;
+  std::vector<int> col_;
+  std::vector<float> weight_;
+  std::vector<float> out_weight_;  // per-node total outgoing weight
+
+  int num_left_ = 0;
+  int num_right_ = 0;
+  int num_nodes_ = 0;
+
+  std::vector<std::vector<float>> embeddings_;  // per record node
+  size_t tracked_bytes_ = 0;  // embeddings bytes registered with MemTracker
+};
+
+/// Tokenizer used for graph construction: lowercased words and *whole*
+/// digit runs (no single-digit splitting).
+std::vector<std::string> GraphTokenize(const std::string& text);
+
+}  // namespace promptem::baselines
+
+#endif  // PROMPTEM_BASELINES_TDMATCH_H_

@@ -1,0 +1,96 @@
+#include "baselines/tdmatch_star.h"
+
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "tensor/autograd.h"
+#include "tensor/kernels.h"
+
+namespace promptem::baselines {
+
+namespace ops = tensor::ops;
+
+TdMatchStar::TdMatchStar(const TdMatchGraph* graph, int embedding_dim,
+                         uint64_t seed, core::Rng* rng)
+    : graph_(graph),
+      embedding_dim_(embedding_dim),
+      projection_seed_(seed) {
+  PROMPTEM_CHECK(graph != nullptr);
+  head_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{4 * embedding_dim, embedding_dim, 2}, rng, 0.1f);
+}
+
+tensor::Tensor TdMatchStar::Features(const data::PairExample& pair) {
+  std::vector<float> u = graph_->ProjectedEmbedding(
+      /*left=*/true, pair.left_index, embedding_dim_, projection_seed_);
+  std::vector<float> v = graph_->ProjectedEmbedding(
+      /*left=*/false, pair.right_index, embedding_dim_, projection_seed_);
+  std::vector<float> features;
+  features.reserve(4 * static_cast<size_t>(embedding_dim_));
+  features.insert(features.end(), u.begin(), u.end());
+  features.insert(features.end(), v.begin(), v.end());
+  for (size_t i = 0; i < u.size(); ++i) {
+    features.push_back(std::fabs(u[i] - v[i]));
+  }
+  for (size_t i = 0; i < u.size(); ++i) features.push_back(u[i] * v[i]);
+  return tensor::Tensor::FromValues({1, 4 * embedding_dim_},
+                                    std::move(features));
+}
+
+tensor::Tensor TdMatchStar::Logits(const data::PairExample& pair,
+                                   core::Rng* rng) {
+  return head_->Forward(Features(pair), rng);
+}
+
+void TdMatchStar::Train(const std::vector<data::PairExample>& labeled,
+                        int epochs, float lr, core::Rng* rng) {
+  nn::AdamWConfig config;
+  config.lr = lr;
+  nn::AdamW optimizer(head_->Parameters(), config);
+  head_->SetTraining(true);
+  std::vector<size_t> order(labeled.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng->Shuffle(&order);
+    int in_batch = 0;
+    for (size_t idx : order) {
+      tensor::Tensor loss = ops::CrossEntropyLogits(
+          Logits(labeled[idx], rng), {labeled[idx].label});
+      loss.Backward();
+      if (++in_batch == 8) {
+        optimizer.Step();
+        optimizer.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.Step();
+      optimizer.ZeroGrad();
+    }
+  }
+  head_->SetTraining(false);
+}
+
+std::vector<int> TdMatchStar::Predict(
+    const std::vector<data::PairExample>& pairs) {
+  head_->SetTraining(false);
+  tensor::NoGradGuard no_grad;
+  core::Rng unused(0);
+  std::vector<int> out;
+  out.reserve(pairs.size());
+  for (const auto& pair : pairs) {
+    tensor::Tensor logits = Logits(pair, &unused);
+    out.push_back(logits.at(0, 1) >= logits.at(0, 0) ? 1 : 0);
+  }
+  return out;
+}
+
+em::Metrics TdMatchStar::Evaluate(
+    const std::vector<data::PairExample>& pairs) {
+  std::vector<int> gold;
+  gold.reserve(pairs.size());
+  for (const auto& p : pairs) gold.push_back(p.label);
+  return em::ComputeMetrics(Predict(pairs), gold);
+}
+
+}  // namespace promptem::baselines

@@ -1,0 +1,44 @@
+#ifndef PROMPTEM_BASELINES_TDMATCH_STAR_H_
+#define PROMPTEM_BASELINES_TDMATCH_STAR_H_
+
+#include <memory>
+
+#include "baselines/tdmatch.h"
+#include "nn/layers.h"
+#include "promptem/metrics.h"
+
+namespace promptem::baselines {
+
+/// TDmatch* (paper Appendix D): a supervised MLP classifier on top of
+/// TDmatch's embeddings. For entity embeddings u, v the classifier input
+/// is (u, v, |u - v|, u * v).
+class TdMatchStar {
+ public:
+  /// `embedding_dim` is the random-projection width of the PPR vectors.
+  TdMatchStar(const TdMatchGraph* graph, int embedding_dim, uint64_t seed,
+              core::Rng* rng);
+
+  /// Trains the MLP on labeled pairs (labels from PairExample).
+  void Train(const std::vector<data::PairExample>& labeled, int epochs,
+             float lr, core::Rng* rng);
+
+  /// Predicted labels for candidate pairs.
+  std::vector<int> Predict(const std::vector<data::PairExample>& pairs);
+
+  /// Convenience: metrics against the pairs' own labels.
+  em::Metrics Evaluate(const std::vector<data::PairExample>& pairs);
+
+ private:
+  tensor::Tensor Features(const data::PairExample& pair);
+  tensor::Tensor Logits(const data::PairExample& pair, core::Rng* rng);
+
+  const TdMatchGraph* graph_;
+  int embedding_dim_;
+  uint64_t projection_seed_;
+  std::unique_ptr<nn::Mlp> head_;
+  std::unique_ptr<nn::Module> owner_;  // keeps Mlp registered
+};
+
+}  // namespace promptem::baselines
+
+#endif  // PROMPTEM_BASELINES_TDMATCH_STAR_H_

@@ -1,0 +1,49 @@
+#ifndef PROMPTEM_CORE_LOG_H_
+#define PROMPTEM_CORE_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace promptem::core {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one formatted log line ("[INFO] message") to stderr if `level`
+/// passes the global threshold. Thread-compatible (single writer assumed).
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// Stream-style log line builder; emits on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define PROMPTEM_LOG(level)                       \
+  ::promptem::core::internal::LogStream(          \
+      ::promptem::core::LogLevel::k##level)
+
+}  // namespace promptem::core
+
+#endif  // PROMPTEM_CORE_LOG_H_

@@ -1,0 +1,21 @@
+#include "core/mem_tracker.h"
+
+namespace promptem::core {
+
+size_t MemTracker::current_ = 0;
+size_t MemTracker::peak_ = 0;
+
+void MemTracker::Add(size_t bytes) {
+  current_ += bytes;
+  if (current_ > peak_) peak_ = current_;
+}
+
+void MemTracker::Sub(size_t bytes) {
+  current_ = bytes > current_ ? 0 : current_ - bytes;
+}
+
+size_t MemTracker::CurrentBytes() { return current_; }
+size_t MemTracker::PeakBytes() { return peak_; }
+void MemTracker::ResetPeak() { peak_ = current_; }
+
+}  // namespace promptem::core

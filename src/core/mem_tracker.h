@@ -1,0 +1,49 @@
+#ifndef PROMPTEM_CORE_MEM_TRACKER_H_
+#define PROMPTEM_CORE_MEM_TRACKER_H_
+
+#include <cstddef>
+
+namespace promptem::core {
+
+/// Process-wide accounting of tensor-storage bytes. Tensor storage
+/// registers allocations/frees here, giving deterministic,
+/// machine-independent "memory usage" numbers for the Table 4 efficiency
+/// benchmark (standing in for the paper's GPU-memory column).
+///
+/// Not thread-safe; the library is single-threaded by design (one core).
+class MemTracker {
+ public:
+  /// Records an allocation of `bytes`.
+  static void Add(size_t bytes);
+
+  /// Records a free of `bytes`.
+  static void Sub(size_t bytes);
+
+  /// Bytes currently live.
+  static size_t CurrentBytes();
+
+  /// High-water mark since the last ResetPeak().
+  static size_t PeakBytes();
+
+  /// Resets the high-water mark to the current live size.
+  static void ResetPeak();
+
+ private:
+  static size_t current_;
+  static size_t peak_;
+};
+
+/// RAII scope that resets the peak on entry and exposes the peak observed
+/// while alive. Used around a method's training run to report its peak
+/// working set.
+class ScopedPeakMemory {
+ public:
+  ScopedPeakMemory() { MemTracker::ResetPeak(); }
+
+  /// Peak bytes observed since this scope began.
+  size_t Peak() const { return MemTracker::PeakBytes(); }
+};
+
+}  // namespace promptem::core
+
+#endif  // PROMPTEM_CORE_MEM_TRACKER_H_

@@ -1,0 +1,128 @@
+#include "core/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <algorithm>
+#include <set>
+
+namespace promptem::core {
+
+std::vector<std::string> SplitString(std::string_view s,
+                                     std::string_view delims) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || delims.find(s[i]) != std::string_view::npos) {
+      if (i > start) out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+bool IsAllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isdigit(c) != 0;
+  });
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  size_t pos = 0;
+  for (;;) {
+    size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(s.substr(pos));
+      return out;
+    }
+    out.append(s.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  std::vector<size_t> prev(m + 1);
+  std::vector<size_t> cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double TokenJaccard(std::string_view a, std::string_view b) {
+  auto ta = SplitString(a);
+  auto tb = SplitString(b);
+  std::set<std::string> sa(ta.begin(), ta.end());
+  std::set<std::string> sb(tb.begin(), tb.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t inter = 0;
+  for (const auto& t : sa) inter += sb.count(t);
+  size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int len = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (len > 0) {
+    out.resize(static_cast<size_t>(len));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace promptem::core

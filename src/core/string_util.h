@@ -1,0 +1,47 @@
+#ifndef PROMPTEM_CORE_STRING_UTIL_H_
+#define PROMPTEM_CORE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace promptem::core {
+
+/// Splits on any of the characters in `delims`; empty pieces are dropped.
+std::vector<std::string> SplitString(std::string_view s,
+                                     std::string_view delims = " \t\n\r");
+
+/// Joins pieces with a separator.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// Strips leading/trailing whitespace.
+std::string Trim(std::string_view s);
+
+/// True when every character is an ASCII digit (and s is non-empty).
+bool IsAllDigits(std::string_view s);
+
+/// True when `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Replaces every occurrence of `from` with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+/// Levenshtein edit distance; used by tests and data-noise validators.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Jaccard similarity of whitespace token sets in [0,1].
+double TokenJaccard(std::string_view a, std::string_view b);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace promptem::core
+
+#endif  // PROMPTEM_CORE_STRING_UTIL_H_

@@ -1,0 +1,75 @@
+#include "core/table_printer.h"
+
+#include <cstdio>
+#include <algorithm>
+
+#include "core/status.h"
+#include "core/string_util.h"
+
+namespace promptem::core {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  PROMPTEM_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Pct(double value01) {
+  return StrFormat("%.1f", value01 * 100.0);
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+      line += " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    sep.append(widths[c] + 2, '-');
+    sep += "|";
+  }
+  sep += "\n";
+  std::string out = render_row(header_) + sep;
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string TablePrinter::ToCsv() const {
+  auto csv_row = [](const std::vector<std::string>& row) {
+    std::string line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) line += ",";
+      bool quote = row[c].find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        line += '"';
+        line += ReplaceAll(row[c], "\"", "\"\"");
+        line += '"';
+      } else {
+        line += row[c];
+      }
+    }
+    return line + "\n";
+  };
+  std::string out = csv_row(header_);
+  for (const auto& row : rows_) out += csv_row(row);
+  return out;
+}
+
+}  // namespace promptem::core

@@ -1,0 +1,38 @@
+#ifndef PROMPTEM_CORE_TABLE_PRINTER_H_
+#define PROMPTEM_CORE_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace promptem::core {
+
+/// Renders aligned text tables for the benchmark harness so every bench
+/// binary prints rows in the same layout the paper's tables use.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles to one decimal place (the paper's
+  /// precision for P/R/F1 percentages).
+  static std::string Pct(double value01);
+
+  /// Renders the table with column alignment and a separator line.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+  /// Writes the table as CSV (for downstream plotting).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace promptem::core
+
+#endif  // PROMPTEM_CORE_TABLE_PRINTER_H_

@@ -1,0 +1,38 @@
+#ifndef PROMPTEM_CORE_TIMER_H_
+#define PROMPTEM_CORE_TIMER_H_
+
+#include <chrono>
+#include <string>
+
+namespace promptem::core {
+
+/// Monotonic wall-clock stopwatch used by the efficiency benchmarks
+/// (Table 4) to report training time per method.
+class Timer {
+ public:
+  Timer() { Reset(); }
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration the way the paper's Table 4 prints it:
+/// "26.6s", "7.4m", or "51.0h".
+std::string FormatDuration(double seconds);
+
+/// Formats a byte count as "29.2G" / "105.3M" / "1.5K".
+std::string FormatBytes(size_t bytes);
+
+}  // namespace promptem::core
+
+#endif  // PROMPTEM_CORE_TIMER_H_

@@ -1,0 +1,748 @@
+#include "data/benchmarks.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "core/string_util.h"
+
+namespace promptem::data {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Pseudo-word generation. Syllable-based words give a Zipf-ish vocabulary
+// with realistic collisions (shared prefixes) without shipping real data.
+// ---------------------------------------------------------------------------
+
+const char* const kSyllables[] = {
+    "ba", "be", "bi", "bo", "bu", "ca", "ce", "ci", "co", "cu", "da", "de",
+    "di", "do", "du", "fa", "fe", "fi", "fo", "fu", "ga", "ge", "gi", "go",
+    "gu", "ha", "he", "hi", "ho", "hu", "ka", "ke", "ki", "ko", "ku", "la",
+    "le", "li", "lo", "lu", "ma", "me", "mi", "mo", "mu", "na", "ne", "ni",
+    "no", "nu", "pa", "pe", "pi", "po", "pu", "ra", "re", "ri", "ro", "ru",
+    "sa", "se", "si", "so", "su", "ta", "te", "ti", "to", "tu", "va", "ve",
+    "vi", "vo", "vu", "za", "ze", "zi", "zo", "zu", "mar", "ton", "ser",
+    "lan", "ber", "chi", "dor", "el", "fran", "gram", "hol", "jin", "kel",
+    "lim", "mon", "nor", "pol", "quin", "ros", "stan", "tril", "und", "vor",
+    "wil", "xan", "yor", "zen"};
+constexpr int kNumSyllables =
+    static_cast<int>(sizeof(kSyllables) / sizeof(kSyllables[0]));
+
+std::string MakeWord(core::Rng* rng, int min_syll, int max_syll) {
+  const int n = static_cast<int>(rng->UniformInt(min_syll, max_syll));
+  std::string w;
+  for (int i = 0; i < n; ++i) {
+    w += kSyllables[rng->NextU64(kNumSyllables)];
+  }
+  return w;
+}
+
+std::vector<std::string> MakeWordPool(core::Rng* rng, int count,
+                                      int min_syll, int max_syll) {
+  std::vector<std::string> pool;
+  pool.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    pool.push_back(MakeWord(rng, min_syll, max_syll));
+  }
+  return pool;
+}
+
+std::string Pick(const std::vector<std::string>& pool, core::Rng* rng) {
+  return pool[rng->NextU64(pool.size())];
+}
+
+std::string MakeDigits(core::Rng* rng, int len) {
+  std::string s;
+  for (int i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('0' + rng->NextU64(10)));
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Noise processes applied when rendering one world entity into a table row.
+// `level` in [0,1] scales every corruption probability.
+// ---------------------------------------------------------------------------
+
+std::string AbbreviateWord(const std::string& w) {
+  if (w.size() <= 3) return w;
+  return w.substr(0, 3) + ".";
+}
+
+std::string TypoWord(const std::string& w, core::Rng* rng) {
+  if (w.size() < 3) return w;
+  std::string out = w;
+  const size_t i = 1 + rng->NextU64(out.size() - 2);
+  std::swap(out[i - 1], out[i]);
+  return out;
+}
+
+std::vector<std::string> NoisyWords(const std::vector<std::string>& words,
+                                    double level, core::Rng* rng) {
+  std::vector<std::string> out;
+  out.reserve(words.size());
+  for (const auto& w : words) {
+    if (words.size() > 2 && rng->Bernoulli(0.25 * level)) continue;  // drop
+    std::string v = w;
+    if (rng->Bernoulli(0.5 * level)) v = AbbreviateWord(v);
+    if (rng->Bernoulli(0.2 * level)) v = TypoWord(v, rng);
+    out.push_back(v);
+  }
+  if (out.empty()) out.push_back(words.front());
+  return out;
+}
+
+std::string NoisyPhrase(const std::vector<std::string>& words, double level,
+                        core::Rng* rng) {
+  return core::JoinStrings(NoisyWords(words, level, rng), " ");
+}
+
+// ---------------------------------------------------------------------------
+// World entities: canonical truth records rendered into both tables.
+// Entities come in families of two "siblings" that share surface features
+// (hard negatives); the differentiating signal per benchmark controls task
+// difficulty.
+// ---------------------------------------------------------------------------
+
+struct WorldEntity {
+  std::vector<std::string> name_words;
+  std::vector<std::string> people;  // "first last" strings
+  std::string org;
+  std::string category;
+  std::string city;
+  std::string street;
+  int street_no = 0;
+  int year = 0;
+  int month = 1;
+  int day = 1;
+  int pages = 0;
+  double price = 0.0;
+  std::string phone;
+  std::string ident;  // isbn / model number
+  double lat = 0.0;
+  double lon = 0.0;
+  std::vector<std::string> desc_words;
+  int family = 0;
+};
+
+struct World {
+  std::vector<std::string> nouns;
+  std::vector<std::string> adjectives;
+  std::vector<std::string> first_names;
+  std::vector<std::string> last_names;
+  std::vector<std::string> orgs;
+  std::vector<std::string> categories;
+  std::vector<std::string> cities;
+  std::vector<std::string> streets;
+  std::vector<WorldEntity> entities;
+};
+
+std::string MakePerson(const World& world, core::Rng* rng) {
+  return Pick(world.first_names, rng) + " " + Pick(world.last_names, rng);
+}
+
+/// `sibling_divergence` selects what distinguishes family siblings:
+/// 0 = everything differs except a shared name prefix (easy),
+/// 1 = only people and org differ (medium),
+/// 2 = only identifier digits and dates differ (hard; SEMI-HETER style).
+World MakeWorld(core::Rng* rng, int num_entities, int sibling_divergence) {
+  World world;
+  world.nouns = MakeWordPool(rng, 80, 2, 3);
+  world.adjectives = MakeWordPool(rng, 40, 2, 3);
+  world.first_names = MakeWordPool(rng, 30, 2, 2);
+  world.last_names = MakeWordPool(rng, 40, 2, 3);
+  world.orgs = MakeWordPool(rng, 16, 2, 3);
+  world.categories = MakeWordPool(rng, 10, 2, 2);
+  world.cities = MakeWordPool(rng, 12, 2, 3);
+  world.streets = MakeWordPool(rng, 20, 2, 3);
+
+  const int num_families = (num_entities + 1) / 2;
+  for (int f = 0; f < num_families; ++f) {
+    // Family base.
+    WorldEntity base;
+    base.family = f;
+    const int name_len = static_cast<int>(rng->UniformInt(3, 5));
+    for (int i = 0; i < name_len; ++i) {
+      base.name_words.push_back(
+          i == 0 ? Pick(world.adjectives, rng) : Pick(world.nouns, rng));
+    }
+    const int num_people = static_cast<int>(rng->UniformInt(1, 3));
+    for (int i = 0; i < num_people; ++i) {
+      base.people.push_back(MakePerson(world, rng));
+    }
+    base.org = Pick(world.orgs, rng);
+    base.category = Pick(world.categories, rng);
+    base.city = Pick(world.cities, rng);
+    base.street = Pick(world.streets, rng);
+    base.street_no = static_cast<int>(rng->UniformInt(1, 999));
+    base.year = static_cast<int>(rng->UniformInt(1990, 2022));
+    base.month = static_cast<int>(rng->UniformInt(1, 12));
+    base.day = static_cast<int>(rng->UniformInt(1, 28));
+    base.pages = static_cast<int>(rng->UniformInt(80, 900));
+    base.price = static_cast<double>(rng->UniformInt(5, 500)) +
+                 0.01 * static_cast<double>(rng->UniformInt(0, 99));
+    base.phone = MakeDigits(rng, 10);
+    base.ident = MakeDigits(rng, 13);
+    base.lat = 30.0 + 20.0 * rng->NextDouble();
+    base.lon = -120.0 + 40.0 * rng->NextDouble();
+    const int num_desc = static_cast<int>(rng->UniformInt(4, 8));
+    for (int i = 0; i < num_desc; ++i) {
+      base.desc_words.push_back(Pick(world.nouns, rng));
+    }
+    world.entities.push_back(base);
+    if (static_cast<int>(world.entities.size()) >= num_entities) break;
+
+    // Sibling: a confusable distinct entity in the same family.
+    WorldEntity sib = base;
+    switch (sibling_divergence) {
+      case 0:
+        // Shares only the first name word; everything else is fresh.
+        sib.name_words.resize(1);
+        while (sib.name_words.size() < base.name_words.size()) {
+          sib.name_words.push_back(Pick(world.nouns, rng));
+        }
+        sib.people.clear();
+        for (int i = 0; i < num_people; ++i) {
+          sib.people.push_back(MakePerson(world, rng));
+        }
+        sib.org = Pick(world.orgs, rng);
+        sib.city = Pick(world.cities, rng);
+        sib.street = Pick(world.streets, rng);
+        sib.street_no = static_cast<int>(rng->UniformInt(1, 999));
+        sib.year = static_cast<int>(rng->UniformInt(1990, 2022));
+        sib.phone = MakeDigits(rng, 10);
+        sib.ident = MakeDigits(rng, 13);
+        sib.lat = 30.0 + 20.0 * rng->NextDouble();
+        sib.lon = -120.0 + 40.0 * rng->NextDouble();
+        break;
+      case 1:
+        // Same name; people, org, year differ (textual signal remains).
+        sib.people.clear();
+        for (int i = 0; i < num_people; ++i) {
+          sib.people.push_back(MakePerson(world, rng));
+        }
+        sib.org = Pick(world.orgs, rng);
+        sib.year = static_cast<int>(rng->UniformInt(1990, 2022));
+        sib.ident = MakeDigits(rng, 13);
+        sib.phone = MakeDigits(rng, 10);
+        sib.street_no = static_cast<int>(rng->UniformInt(1, 999));
+        sib.desc_words[0] = Pick(world.nouns, rng);
+        sib.lat = base.lat + 0.2 * (rng->NextDouble() - 0.5);
+        sib.lon = base.lon + 0.2 * (rng->NextDouble() - 0.5);
+        break;
+      default:
+        // Same name AND people/org; only digits (identifier, full date,
+        // pages, price) distinguish the siblings — the SEMI-HETER regime
+        // where LMs struggle (paper §5.2 and Appendix C).
+        sib.ident = MakeDigits(rng, 13);
+        sib.year = static_cast<int>(rng->UniformInt(1990, 2022));
+        sib.month = static_cast<int>(rng->UniformInt(1, 12));
+        sib.day = static_cast<int>(rng->UniformInt(1, 28));
+        sib.pages = static_cast<int>(rng->UniformInt(80, 900));
+        sib.price = static_cast<double>(rng->UniformInt(5, 500)) +
+                    0.01 * static_cast<double>(rng->UniformInt(0, 99));
+        break;
+    }
+    sib.family = f;
+    world.entities.push_back(sib);
+    if (static_cast<int>(world.entities.size()) >= num_entities) break;
+  }
+  return world;
+}
+
+// ---------------------------------------------------------------------------
+// Per-benchmark rendering of one entity into the left / right table row.
+// ---------------------------------------------------------------------------
+
+using AttrList = std::vector<std::pair<std::string, Value>>;
+
+std::string DateString(const WorldEntity& e) {
+  return core::StrFormat("%02d/%02d/%d", e.month, e.day, e.year);
+}
+
+Record RenderRestaurantLeft(const WorldEntity& e, double noise,
+                            core::Rng* rng) {
+  AttrList attrs;
+  attrs.emplace_back("name", Value::Str(NoisyPhrase(e.name_words, noise, rng)));
+  attrs.emplace_back("address",
+                     Value::Str(core::StrFormat("%d %s", e.street_no,
+                                                e.street.c_str())));
+  attrs.emplace_back("city", Value::Str(e.city));
+  attrs.emplace_back("phone", Value::Str(e.phone));
+  attrs.emplace_back("cuisine", Value::Str(e.category));
+  attrs.emplace_back("price", Value::Num(e.price));
+  return Record::Relational(std::move(attrs));
+}
+
+Record RenderRestaurantRight(const WorldEntity& e, double noise,
+                             core::Rng* rng) {
+  // Heterogeneous schema: different attribute names, address split in two,
+  // phone formatted differently.
+  AttrList attrs;
+  attrs.emplace_back("restaurant",
+                     Value::Str(NoisyPhrase(e.name_words, noise, rng)));
+  attrs.emplace_back("street_no", Value::Num(e.street_no));
+  attrs.emplace_back("street", Value::Str(e.street));
+  attrs.emplace_back("town", Value::Str(e.city));
+  attrs.emplace_back("phone_number",
+                     Value::Str(e.phone.substr(0, 3) + "-" +
+                                e.phone.substr(3, 3) + "-" +
+                                e.phone.substr(6)));
+  attrs.emplace_back("food_type", Value::Str(e.category));
+  attrs.emplace_back("owner", Value::Str(e.people.front()));
+  return Record::Relational(std::move(attrs));
+}
+
+Record RenderCitationSemi(const WorldEntity& e, double noise, core::Rng* rng,
+                          bool alt_order) {
+  std::vector<Value> authors;
+  for (const auto& p : e.people) {
+    if (alt_order) {
+      // Citation-style abbreviation: "ronald fagin" -> "r. fagin". Whole
+      // first-name tokens no longer match across tables.
+      const size_t space = p.find(' ');
+      authors.push_back(Value::Str(p.substr(0, 1) + ". " +
+                                   (space == std::string::npos
+                                        ? ""
+                                        : p.substr(space + 1))));
+    } else {
+      authors.push_back(Value::Str(p));
+    }
+  }
+  AttrList attrs;
+  attrs.emplace_back("title", Value::Str(NoisyPhrase(e.name_words, noise, rng)));
+  attrs.emplace_back("authors", Value::List(std::move(authors)));
+  attrs.emplace_back("venue", Value::Str(e.org));
+  attrs.emplace_back("year", Value::Num(e.year));
+  attrs.emplace_back("pages", Value::Num(e.pages));
+  attrs.emplace_back("topic", Value::Str(e.category));
+  if (alt_order) {
+    // Homogeneous schema, but attribute order may differ between tables.
+    std::reverse(attrs.begin() + 1, attrs.end());
+  }
+  return Record::SemiStructured(std::move(attrs));
+}
+
+Record RenderBookSemi(const WorldEntity& e, double noise, core::Rng* rng,
+                      bool right_side) {
+  AttrList attrs;
+  if (!right_side) {
+    attrs.emplace_back("title",
+                       Value::Str(NoisyPhrase(e.name_words, noise, rng)));
+    attrs.emplace_back("author", Value::Str(e.people.front()));
+    attrs.emplace_back("isbn", Value::Str(e.ident));
+    attrs.emplace_back("publisher", Value::Str(e.org));
+    attrs.emplace_back("publication_date", Value::Str(DateString(e)));
+    attrs.emplace_back("pages", Value::Num(e.pages));
+    attrs.emplace_back("price", Value::Num(e.price));
+  } else {
+    // Heterogeneous: renamed attributes, isbn10-style prefix, split date.
+    attrs.emplace_back("book_title",
+                       Value::Str(NoisyPhrase(e.name_words, noise, rng)));
+    attrs.emplace_back("writer", Value::Str(e.people.front()));
+    attrs.emplace_back("isbn13", Value::Str(e.ident));
+    attrs.emplace_back("press", Value::Str(e.org));
+    attrs.emplace_back("pub_year", Value::Num(e.year));
+    attrs.emplace_back("pub_month", Value::Num(e.month));
+    attrs.emplace_back("page_count", Value::Num(e.pages));
+    attrs.emplace_back("list_price",
+                       Value::Str(core::StrFormat("$%.2f", e.price)));
+  }
+  return Record::SemiStructured(std::move(attrs));
+}
+
+Record RenderMovieSemi(const WorldEntity& e, double noise, core::Rng* rng) {
+  std::vector<Value> actors;
+  for (const auto& p : e.people) actors.push_back(Value::Str(p));
+  AttrList attrs;
+  attrs.emplace_back("title", Value::Str(NoisyPhrase(e.name_words, noise, rng)));
+  // Nested object exercises the recursive [COL]/[VAL] serialization.
+  attrs.emplace_back(
+      "credits",
+      Value::Object({{"director", Value::Str(e.people.front())},
+                     {"actors", Value::List(std::move(actors))}}));
+  attrs.emplace_back("genre", Value::Str(e.category));
+  attrs.emplace_back("year", Value::Num(e.year));
+  return Record::SemiStructured(std::move(attrs));
+}
+
+Record RenderMovieRel(const WorldEntity& e, double noise, core::Rng* rng) {
+  AttrList attrs;
+  attrs.emplace_back("movie_name",
+                     Value::Str(NoisyPhrase(e.name_words, noise, rng)));
+  attrs.emplace_back("directed_by", Value::Str(e.people.front()));
+  attrs.emplace_back("genre", Value::Str(e.category));
+  attrs.emplace_back("release_year", Value::Num(e.year));
+  attrs.emplace_back("runtime", Value::Num(90 + e.pages % 90));
+  attrs.emplace_back("studio", Value::Str(e.org));
+  return Record::Relational(std::move(attrs));
+}
+
+Record RenderProductSemi(const WorldEntity& e, double noise, core::Rng* rng) {
+  AttrList attrs;
+  attrs.emplace_back("name", Value::Str(NoisyPhrase(e.name_words, noise, rng)));
+  attrs.emplace_back("brand", Value::Str(e.org));
+  attrs.emplace_back("model", Value::Str(e.ident.substr(0, 6)));
+  attrs.emplace_back("category", Value::Str(e.category));
+  attrs.emplace_back("price", Value::Num(e.price));
+  attrs.emplace_back("weight", Value::Num(e.pages % 50 + 1));
+  attrs.emplace_back("color", Value::Str(e.desc_words[0]));
+  attrs.emplace_back("material", Value::Str(e.desc_words[1]));
+  attrs.emplace_back("year", Value::Num(e.year));
+  attrs.emplace_back("feature", Value::Str(e.desc_words[2]));
+  return Record::SemiStructured(std::move(attrs));
+}
+
+Record RenderProductText(const WorldEntity& e, double noise, core::Rng* rng) {
+  // A long marketing description: the discriminative tokens (name, brand)
+  // are buried in generic filler, and the exact model number is absent.
+  // Long entries are what the paper's Appendix-F TF-IDF summarizer exists
+  // for — and they dilute random-walk mass for graph matchers.
+  static const char* kFiller[] = {
+      "with",    "quality", "great",   "design",  "features", "high",
+      "new",     "best",    "value",   "product", "series",   "edition",
+      "style",   "premium", "classic", "modern",  "perfect",  "everyday",
+      "durable", "popular"};
+  std::vector<std::string> words;
+  words.push_back("the");
+  for (const auto& w : e.name_words) words.push_back(w);
+  words.push_back("by");
+  words.push_back(e.org);
+  words.push_back("in");
+  words.push_back(e.desc_words[0]);
+  words.push_back(e.desc_words[1]);
+  words.push_back("finish");
+  words.push_back("a");
+  words.push_back(e.category);
+  words.push_back("from");
+  words.push_back(core::StrFormat("%d", e.year));
+  const int filler_count = static_cast<int>(rng->UniformInt(14, 22));
+  for (int i = 0; i < filler_count; ++i) {
+    words.push_back(kFiller[rng->NextU64(20)]);
+    if (i % 4 == 2) {
+      words.push_back(e.desc_words[rng->NextU64(e.desc_words.size())]);
+    }
+  }
+  return Record::Textual(NoisyPhrase(words, noise, rng));
+}
+
+Record RenderPaperText(const WorldEntity& e, double noise, core::Rng* rng) {
+  // Abstract-like text: some title words appear, plus topic words; venue
+  // and authors usually absent (what makes REL-TEXT hard).
+  std::vector<std::string> words;
+  words.push_back("we");
+  words.push_back("study");
+  for (const auto& w : e.name_words) words.push_back(w);
+  words.push_back("for");
+  words.push_back(e.category);
+  words.push_back("problems");
+  for (const auto& w : e.desc_words) words.push_back(w);
+  if (rng->Bernoulli(0.4)) {
+    words.push_back("presented");
+    words.push_back("at");
+    words.push_back(e.org);
+  }
+  return Record::Textual(NoisyPhrase(words, noise, rng));
+}
+
+Record RenderPaperRel(const WorldEntity& e, double noise, core::Rng* rng) {
+  AttrList attrs;
+  attrs.emplace_back("title", Value::Str(NoisyPhrase(e.name_words, noise, rng)));
+  attrs.emplace_back("authors",
+                     Value::Str(core::JoinStrings(e.people, " ")));
+  attrs.emplace_back("venue", Value::Str(e.org));
+  attrs.emplace_back("year", Value::Num(e.year));
+  attrs.emplace_back("pages", Value::Num(e.pages));
+  attrs.emplace_back("area", Value::Str(e.category));
+  return Record::Relational(std::move(attrs));
+}
+
+Record RenderGeoLeft(const WorldEntity& e, double noise, core::Rng* rng) {
+  AttrList attrs;
+  attrs.emplace_back("name", Value::Str(NoisyPhrase(e.name_words, noise, rng)));
+  attrs.emplace_back("category", Value::Str(e.category));
+  attrs.emplace_back("address",
+                     Value::Str(core::StrFormat("%d %s", e.street_no,
+                                                e.street.c_str())));
+  attrs.emplace_back("latitude", Value::Num(std::round(e.lat * 1000) / 1000));
+  attrs.emplace_back("longitude",
+                     Value::Num(std::round(e.lon * 1000) / 1000));
+  return Record::Relational(std::move(attrs));
+}
+
+Record RenderGeoRight(const WorldEntity& e, double noise, core::Rng* rng) {
+  // Heterogeneous: lat/lon combined into one "position" attribute
+  // (mirrors the paper's GEO-HETER construction, Appendix E).
+  const double lat = e.lat + 0.0005 * (rng->NextDouble() - 0.5);
+  const double lon = e.lon + 0.0005 * (rng->NextDouble() - 0.5);
+  AttrList attrs;
+  attrs.emplace_back("venue_name",
+                     Value::Str(NoisyPhrase(e.name_words, noise, rng)));
+  attrs.emplace_back("type", Value::Str(e.category));
+  // A different provider reports coarser precision, so coordinate tokens
+  // rarely match verbatim across tables.
+  attrs.emplace_back("position",
+                     Value::Str(core::StrFormat("%.2f %.2f", lat, lon)));
+  attrs.emplace_back("street", Value::Str(e.street));
+  return Record::Relational(std::move(attrs));
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark assembly.
+// ---------------------------------------------------------------------------
+
+struct GenSpec {
+  int num_entities = 170;
+  int num_pos = 96;
+  int num_hard_neg = 96;
+  int num_rand_neg = 96;
+  int sibling_divergence = 1;
+  double left_noise = 0.3;
+  double right_noise = 0.3;
+  Record (*render_left)(const WorldEntity&, double, core::Rng*) = nullptr;
+  Record (*render_right)(const WorldEntity&, double, core::Rng*) = nullptr;
+};
+
+GemDataset Assemble(const BenchmarkInfo& info, const GenSpec& spec,
+                    uint64_t seed) {
+  core::Rng rng(seed);
+  World world = MakeWorld(&rng, spec.num_entities, spec.sibling_divergence);
+  const int n = static_cast<int>(world.entities.size());
+
+  GemDataset ds;
+  ds.name = info.name;
+  ds.domain = info.domain;
+  ds.default_rate = info.default_rate;
+  ds.left_table.reserve(static_cast<size_t>(n));
+  ds.right_table.reserve(static_cast<size_t>(n));
+  for (const auto& e : world.entities) {
+    ds.left_table.push_back(spec.render_left(e, spec.left_noise, &rng));
+    ds.right_table.push_back(spec.render_right(e, spec.right_noise, &rng));
+  }
+
+  std::vector<PairExample> pairs;
+  // Positives: left and right renderings of the same entity.
+  std::vector<int> entity_order(n);
+  for (int i = 0; i < n; ++i) entity_order[i] = i;
+  rng.Shuffle(&entity_order);
+  for (int i = 0; i < std::min(spec.num_pos, n); ++i) {
+    pairs.push_back({entity_order[i], entity_order[i], 1});
+  }
+  // Hard negatives: family siblings (adjacent indexes share a family).
+  int hard = 0;
+  for (int i = 0; i + 1 < n && hard < spec.num_hard_neg; i += 2) {
+    if (world.entities[i].family == world.entities[i + 1].family) {
+      pairs.push_back({i, i + 1, 0});
+      ++hard;
+      if (hard < spec.num_hard_neg) {
+        pairs.push_back({i + 1, i, 0});
+        ++hard;
+      }
+    }
+  }
+  // Random negatives across families.
+  int made = 0;
+  while (made < spec.num_rand_neg) {
+    const int a = static_cast<int>(rng.NextU64(n));
+    const int b = static_cast<int>(rng.NextU64(n));
+    if (world.entities[a].family == world.entities[b].family) continue;
+    pairs.push_back({a, b, 0});
+    ++made;
+  }
+  rng.Shuffle(&pairs);
+
+  // 60/20/20 split.
+  const size_t total = pairs.size();
+  const size_t train_end = total * 3 / 5;
+  const size_t valid_end = total * 4 / 5;
+  ds.train.assign(pairs.begin(), pairs.begin() + static_cast<long>(train_end));
+  ds.valid.assign(pairs.begin() + static_cast<long>(train_end),
+                  pairs.begin() + static_cast<long>(valid_end));
+  ds.test.assign(pairs.begin() + static_cast<long>(valid_end), pairs.end());
+  return ds;
+}
+
+Record RenderCitationSemiLeft(const WorldEntity& e, double noise,
+                              core::Rng* rng) {
+  return RenderCitationSemi(e, noise, rng, /*alt_order=*/false);
+}
+Record RenderCitationSemiRight(const WorldEntity& e, double noise,
+                               core::Rng* rng) {
+  return RenderCitationSemi(e, noise, rng, /*alt_order=*/true);
+}
+Record RenderBookLeft(const WorldEntity& e, double noise, core::Rng* rng) {
+  return RenderBookSemi(e, noise, rng, /*right_side=*/false);
+}
+Record RenderBookRight(const WorldEntity& e, double noise, core::Rng* rng) {
+  return RenderBookSemi(e, noise, rng, /*right_side=*/true);
+}
+
+const BenchmarkInfo kInfos[] = {
+    {BenchmarkKind::kRelHeter, "REL-HETER", "R-H", "restaurant", 0.10},
+    {BenchmarkKind::kSemiHomo, "SEMI-HOMO", "S-HO", "citation", 0.05},
+    {BenchmarkKind::kSemiHeter, "SEMI-HETER", "S-HE", "book", 0.10},
+    {BenchmarkKind::kSemiRel, "SEMI-REL", "S-R", "movie", 0.10},
+    {BenchmarkKind::kSemiTextW, "SEMI-TEXT-w", "S-T-w", "product", 0.10},
+    {BenchmarkKind::kSemiTextC, "SEMI-TEXT-c", "S-T-c", "product", 0.05},
+    {BenchmarkKind::kRelText, "REL-TEXT", "R-T", "citation", 0.10},
+    {BenchmarkKind::kGeoHeter, "GEO-HETER", "G-H", "geo-spatial", 0.10},
+};
+
+}  // namespace
+
+const std::vector<BenchmarkKind>& AllBenchmarks() {
+  static const std::vector<BenchmarkKind> kAll = {
+      BenchmarkKind::kRelHeter,  BenchmarkKind::kSemiHomo,
+      BenchmarkKind::kSemiHeter, BenchmarkKind::kSemiRel,
+      BenchmarkKind::kSemiTextW, BenchmarkKind::kSemiTextC,
+      BenchmarkKind::kRelText,   BenchmarkKind::kGeoHeter,
+  };
+  return kAll;
+}
+
+const BenchmarkInfo& GetBenchmarkInfo(BenchmarkKind kind) {
+  for (const auto& info : kInfos) {
+    if (info.kind == kind) return info;
+  }
+  PROMPTEM_CHECK_MSG(false, "unknown benchmark kind");
+  return kInfos[0];
+}
+
+GemDataset GenerateBenchmark(BenchmarkKind kind, uint64_t seed,
+                             const BenchmarkGenOptions& options) {
+  const BenchmarkInfo& info = GetBenchmarkInfo(kind);
+  GenSpec spec;
+  switch (kind) {
+    case BenchmarkKind::kRelHeter:
+      // Easy: distinct names, light noise (paper: ~100 F1 for PromptEM).
+      spec.sibling_divergence = 0;
+      spec.left_noise = 0.1;
+      spec.right_noise = 0.1;
+      spec.render_left = RenderRestaurantLeft;
+      spec.render_right = RenderRestaurantRight;
+      break;
+    case BenchmarkKind::kSemiHomo:
+      spec.sibling_divergence = 1;
+      spec.left_noise = 0.15;
+      spec.right_noise = 0.15;
+      spec.render_left = RenderCitationSemiLeft;
+      spec.render_right = RenderCitationSemiRight;
+      break;
+    case BenchmarkKind::kSemiHeter:
+      // Siblings differ only in digits: LM-hard (paper: TDmatch wins).
+      spec.sibling_divergence = 2;
+      spec.left_noise = 0.1;
+      spec.right_noise = 0.1;
+      spec.render_left = RenderBookLeft;
+      spec.render_right = RenderBookRight;
+      break;
+    case BenchmarkKind::kSemiRel:
+      spec.sibling_divergence = 1;
+      spec.left_noise = 0.10;
+      spec.right_noise = 0.10;
+      spec.render_left = RenderMovieSemi;
+      spec.render_right = RenderMovieRel;
+      break;
+    case BenchmarkKind::kSemiTextW:
+      // Hardest: heavy text corruption (paper: ~41 F1).
+      spec.sibling_divergence = 1;
+      spec.left_noise = 0.40;
+      spec.right_noise = 0.95;
+      spec.render_left = RenderProductSemi;
+      spec.render_right = RenderProductText;
+      break;
+    case BenchmarkKind::kSemiTextC:
+      spec.sibling_divergence = 1;
+      spec.left_noise = 0.15;
+      spec.right_noise = 0.30;
+      spec.render_left = RenderProductSemi;
+      spec.render_right = RenderProductText;
+      break;
+    case BenchmarkKind::kRelText:
+      spec.sibling_divergence = 1;
+      spec.left_noise = 0.25;
+      spec.right_noise = 0.4;
+      spec.render_left = RenderPaperText;
+      spec.render_right = RenderPaperRel;
+      break;
+    case BenchmarkKind::kGeoHeter:
+      spec.sibling_divergence = 1;
+      spec.left_noise = 0.12;
+      spec.right_noise = 0.12;
+      spec.render_left = RenderGeoLeft;
+      spec.render_right = RenderGeoRight;
+      break;
+  }
+  if (options.size_scale != 1.0) {
+    auto scaled = [&](int v) {
+      return std::max(4, static_cast<int>(v * options.size_scale));
+    };
+    spec.num_entities = scaled(spec.num_entities);
+    spec.num_pos = scaled(spec.num_pos);
+    spec.num_hard_neg = scaled(spec.num_hard_neg);
+    spec.num_rand_neg = scaled(spec.num_rand_neg);
+  }
+  return Assemble(info, spec, seed ^ (static_cast<uint64_t>(kind) + 1));
+}
+
+std::vector<GemDataset> GenerateAllBenchmarks(uint64_t seed) {
+  std::vector<GemDataset> out;
+  for (BenchmarkKind kind : AllBenchmarks()) {
+    out.push_back(GenerateBenchmark(kind, seed));
+  }
+  return out;
+}
+
+namespace {
+
+void CountChars(const Value& v, int64_t* digits, int64_t* total) {
+  switch (v.kind()) {
+    case Value::Kind::kString:
+      for (char c : v.as_string()) {
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        ++*total;
+        if (std::isdigit(static_cast<unsigned char>(c))) ++*digits;
+      }
+      return;
+    case Value::Kind::kNumber: {
+      const std::string s = v.NumberToString();
+      for (char c : s) {
+        ++*total;
+        if (std::isdigit(static_cast<unsigned char>(c))) ++*digits;
+      }
+      return;
+    }
+    case Value::Kind::kList:
+      for (const auto& item : v.as_list()) CountChars(item, digits, total);
+      return;
+    case Value::Kind::kObject:
+      for (const auto& [name, item] : v.as_object()) {
+        CountChars(item, digits, total);
+      }
+      return;
+  }
+}
+
+}  // namespace
+
+double DigitFraction(const std::vector<Record>& table) {
+  int64_t digits = 0;
+  int64_t total = 0;
+  for (const auto& record : table) {
+    if (record.format == RecordFormat::kTextual) {
+      for (char c : record.text) {
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        ++total;
+        if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+      }
+      continue;
+    }
+    for (const auto& [name, value] : record.attrs) {
+      CountChars(value, &digits, &total);
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(digits) / total;
+}
+
+}  // namespace promptem::data

@@ -1,0 +1,134 @@
+#include "data/blocking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "data/serializer.h"
+#include "text/tokenizer.h"
+
+namespace promptem::data {
+
+OverlapBlocker::OverlapBlocker(const std::vector<Record>& left_table,
+                               const std::vector<Record>& right_table) {
+  std::map<std::string, int> token_ids;
+  auto encode = [&](const Record& record) {
+    std::vector<int> ids;
+    std::set<int> seen;
+    for (const auto& tok :
+         text::WordTokenize(SerializeRecord(record))) {
+      auto [it, inserted] =
+          token_ids.emplace(tok, static_cast<int>(token_ids.size()));
+      if (seen.insert(it->second).second) ids.push_back(it->second);
+    }
+    return ids;
+  };
+  left_tokens_.reserve(left_table.size());
+  for (const auto& r : left_table) left_tokens_.push_back(encode(r));
+  right_tokens_.reserve(right_table.size());
+  for (const auto& r : right_table) right_tokens_.push_back(encode(r));
+  num_tokens_ = static_cast<int>(token_ids.size());
+
+  // Document frequencies over both tables.
+  std::vector<int> df(static_cast<size_t>(num_tokens_), 0);
+  for (const auto& ids : left_tokens_) {
+    for (int t : ids) ++df[static_cast<size_t>(t)];
+  }
+  for (const auto& ids : right_tokens_) {
+    for (int t : ids) ++df[static_cast<size_t>(t)];
+  }
+  const double n_docs =
+      static_cast<double>(left_tokens_.size() + right_tokens_.size());
+  idf_.resize(static_cast<size_t>(num_tokens_));
+  for (int t = 0; t < num_tokens_; ++t) {
+    idf_[static_cast<size_t>(t)] =
+        std::log((1.0 + n_docs) / (1.0 + df[static_cast<size_t>(t)])) + 1.0;
+  }
+
+  // Inverted index over the right table.
+  right_index_.resize(static_cast<size_t>(num_tokens_));
+  for (size_t j = 0; j < right_tokens_.size(); ++j) {
+    for (int t : right_tokens_[j]) {
+      right_index_[static_cast<size_t>(t)].push_back(static_cast<int>(j));
+    }
+  }
+}
+
+double OverlapBlocker::PairScore(int left_index, int right_index) const {
+  const auto& li = left_tokens_[static_cast<size_t>(left_index)];
+  const auto& ri = right_tokens_[static_cast<size_t>(right_index)];
+  std::set<int> right_set(ri.begin(), ri.end());
+  double score = 0.0;
+  for (int t : li) {
+    if (right_set.count(t)) score += idf_[static_cast<size_t>(t)];
+  }
+  return score;
+}
+
+std::vector<PairExample> OverlapBlocker::GenerateCandidates(
+    const Config& config) const {
+  const double n_docs =
+      static_cast<double>(left_tokens_.size() + right_tokens_.size());
+  const size_t stop_threshold = static_cast<size_t>(
+      std::max(1.0, config.max_token_frequency * n_docs));
+
+  std::vector<PairExample> candidates;
+  std::vector<double> score(right_tokens_.size());
+  std::vector<int> shared(right_tokens_.size());
+  for (size_t i = 0; i < left_tokens_.size(); ++i) {
+    std::fill(score.begin(), score.end(), 0.0);
+    std::fill(shared.begin(), shared.end(), 0);
+    for (int t : left_tokens_[i]) {
+      const auto& postings = right_index_[static_cast<size_t>(t)];
+      if (postings.size() > stop_threshold) continue;  // stop token
+      for (int j : postings) {
+        score[static_cast<size_t>(j)] += idf_[static_cast<size_t>(t)];
+        ++shared[static_cast<size_t>(j)];
+      }
+    }
+    std::vector<int> order;
+    for (size_t j = 0; j < score.size(); ++j) {
+      if (shared[j] >= config.min_shared_tokens && score[j] > 0.0) {
+        order.push_back(static_cast<int>(j));
+      }
+    }
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return score[static_cast<size_t>(a)] > score[static_cast<size_t>(b)];
+    });
+    if (static_cast<int>(order.size()) > config.top_k) {
+      order.resize(static_cast<size_t>(config.top_k));
+    }
+    for (int j : order) {
+      candidates.push_back({static_cast<int>(i), j, 0});
+    }
+  }
+  return candidates;
+}
+
+BlockingQuality EvaluateBlocking(
+    const std::vector<PairExample>& candidates,
+    const std::vector<PairExample>& gold_matches, size_t left_size,
+    size_t right_size) {
+  std::set<std::pair<int, int>> candidate_set;
+  for (const auto& c : candidates) {
+    candidate_set.emplace(c.left_index, c.right_index);
+  }
+  size_t kept = 0;
+  size_t total = 0;
+  for (const auto& g : gold_matches) {
+    if (g.label != 1) continue;
+    ++total;
+    kept += candidate_set.count({g.left_index, g.right_index});
+  }
+  BlockingQuality quality;
+  quality.pair_completeness =
+      total == 0 ? 1.0 : static_cast<double>(kept) / total;
+  const double all_pairs =
+      static_cast<double>(left_size) * static_cast<double>(right_size);
+  quality.reduction_ratio =
+      all_pairs == 0.0 ? 0.0 : 1.0 - candidates.size() / all_pairs;
+  return quality;
+}
+
+}  // namespace promptem::data

@@ -1,0 +1,61 @@
+#ifndef PROMPTEM_DATA_BLOCKING_H_
+#define PROMPTEM_DATA_BLOCKING_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace promptem::data {
+
+/// Blocking — the first stage of the classic EM workflow (paper §2.1):
+/// cheaply prunes the quadratic candidate space before the matcher runs.
+/// The paper focuses on matching and assumes candidates exist; this
+/// module supplies that substrate so the library covers the full
+/// workflow on user data.
+///
+/// OverlapBlocker is a token-overlap blocker with IDF weighting: records
+/// sharing informative tokens become candidates, ranked by the summed
+/// IDF of their shared tokens, keeping the top-k rights per left record.
+class OverlapBlocker {
+ public:
+  struct Config {
+    int top_k = 10;            ///< candidates kept per left record
+    int min_shared_tokens = 1;  ///< ignore pairs sharing fewer tokens
+    /// Tokens appearing in more than this fraction of records carry no
+    /// blocking signal and are dropped from the index.
+    double max_token_frequency = 0.3;
+  };
+
+  OverlapBlocker(const std::vector<Record>& left_table,
+                 const std::vector<Record>& right_table);
+
+  /// Generates candidate pairs (labels set to 0; the matcher decides).
+  std::vector<PairExample> GenerateCandidates(const Config& config) const;
+
+  /// Blocking score of one pair: summed IDF of shared tokens.
+  double PairScore(int left_index, int right_index) const;
+
+ private:
+  std::vector<std::vector<int>> left_tokens_;   // token ids per record
+  std::vector<std::vector<int>> right_tokens_;  // token ids per record
+  std::vector<std::vector<int>> right_index_;   // token id -> right records
+  std::vector<double> idf_;
+  int num_tokens_ = 0;
+};
+
+/// Blocking quality: pair completeness = fraction of gold matches kept;
+/// reduction ratio = 1 - |candidates| / (|left| * |right|).
+struct BlockingQuality {
+  double pair_completeness = 0.0;
+  double reduction_ratio = 0.0;
+};
+
+/// Evaluates candidates against gold matched pairs.
+BlockingQuality EvaluateBlocking(
+    const std::vector<PairExample>& candidates,
+    const std::vector<PairExample>& gold_matches, size_t left_size,
+    size_t right_size);
+
+}  // namespace promptem::data
+
+#endif  // PROMPTEM_DATA_BLOCKING_H_

@@ -1,0 +1,88 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+namespace promptem::data {
+
+double GemDataset::MeanAttrs(const std::vector<Record>& table) {
+  if (table.empty()) return 0.0;
+  int64_t total = 0;
+  for (const auto& r : table) total += r.NumAttrs();
+  return static_cast<double>(total) / static_cast<double>(table.size());
+}
+
+namespace {
+
+LowResourceSplit SplitWithLabeledCount(const GemDataset& dataset,
+                                       size_t labeled_count,
+                                       core::Rng* rng) {
+  PROMPTEM_CHECK(labeled_count >= 1);
+  labeled_count = std::min(labeled_count, dataset.train.size());
+
+  // Stratify: shuffle positives and negatives separately, then take a
+  // proportional slice of each so tiny label budgets keep both classes.
+  std::vector<PairExample> pos;
+  std::vector<PairExample> neg;
+  for (const auto& p : dataset.train) {
+    (p.label == 1 ? pos : neg).push_back(p);
+  }
+  rng->Shuffle(&pos);
+  rng->Shuffle(&neg);
+
+  const double pos_share =
+      dataset.train.empty()
+          ? 0.0
+          : static_cast<double>(pos.size()) / dataset.train.size();
+  size_t take_pos = static_cast<size_t>(pos_share * labeled_count + 0.5);
+  take_pos = std::min(take_pos, pos.size());
+  if (take_pos == 0 && !pos.empty() && labeled_count >= 2) take_pos = 1;
+  size_t take_neg = labeled_count - take_pos;
+  if (take_neg > neg.size()) {
+    take_pos = std::min(pos.size(), take_pos + (take_neg - neg.size()));
+    take_neg = neg.size();
+  }
+
+  LowResourceSplit split;
+  split.labeled.insert(split.labeled.end(), pos.begin(),
+                       pos.begin() + static_cast<long>(take_pos));
+  split.labeled.insert(split.labeled.end(), neg.begin(),
+                       neg.begin() + static_cast<long>(take_neg));
+  split.unlabeled.insert(split.unlabeled.end(),
+                         pos.begin() + static_cast<long>(take_pos),
+                         pos.end());
+  split.unlabeled.insert(split.unlabeled.end(),
+                         neg.begin() + static_cast<long>(take_neg),
+                         neg.end());
+  rng->Shuffle(&split.labeled);
+  rng->Shuffle(&split.unlabeled);
+  split.valid = dataset.valid;
+  split.test = dataset.test;
+  return split;
+}
+
+}  // namespace
+
+LowResourceSplit MakeLowResourceSplit(const GemDataset& dataset, double rate,
+                                      core::Rng* rng) {
+  PROMPTEM_CHECK(rate > 0.0 && rate <= 1.0);
+  // The paper's rate applies to "All" labeled examples; the labeled budget
+  // is rate * All, drawn from the training pool.
+  const auto budget = static_cast<size_t>(
+      std::max(1.0, rate * dataset.TotalLabeled() + 0.5));
+  return SplitWithLabeledCount(dataset, budget, rng);
+}
+
+LowResourceSplit MakeCountSplit(const GemDataset& dataset, int count,
+                                core::Rng* rng) {
+  PROMPTEM_CHECK(count >= 1);
+  return SplitWithLabeledCount(dataset, static_cast<size_t>(count), rng);
+}
+
+double PositiveRate(const std::vector<PairExample>& pairs) {
+  if (pairs.empty()) return 0.0;
+  int64_t pos = 0;
+  for (const auto& p : pairs) pos += p.label == 1 ? 1 : 0;
+  return static_cast<double>(pos) / static_cast<double>(pairs.size());
+}
+
+}  // namespace promptem::data

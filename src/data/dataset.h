@@ -1,0 +1,77 @@
+#ifndef PROMPTEM_DATA_DATASET_H_
+#define PROMPTEM_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/record.h"
+
+namespace promptem::data {
+
+/// One labeled candidate pair: indexes into the dataset's tables plus a
+/// binary match label (1 = match / relevant, 0 = mismatch).
+struct PairExample {
+  int left_index = 0;
+  int right_index = 0;
+  int label = 0;
+};
+
+/// A GEM benchmark: two entity tables (possibly of different formats /
+/// schemas) and labeled candidate pairs pre-split into train/valid/test.
+struct GemDataset {
+  std::string name;
+  std::string domain;
+  std::vector<Record> left_table;
+  std::vector<Record> right_table;
+  std::vector<PairExample> train;
+  std::vector<PairExample> valid;
+  std::vector<PairExample> test;
+  /// Default low-resource training fraction for this benchmark (Table 1's
+  /// "% rate" column).
+  double default_rate = 0.10;
+
+  const Record& Left(const PairExample& p) const {
+    return left_table[static_cast<size_t>(p.left_index)];
+  }
+  const Record& Right(const PairExample& p) const {
+    return right_table[static_cast<size_t>(p.right_index)];
+  }
+
+  int TotalLabeled() const {
+    return static_cast<int>(train.size() + valid.size() + test.size());
+  }
+
+  /// Mean top-level attribute count of a table (Table 1's #attr).
+  static double MeanAttrs(const std::vector<Record>& table);
+};
+
+/// The low-resource view the trainers consume: a small labeled train set,
+/// the rest of the training pool with labels hidden (for self-training),
+/// plus the full validation and test sets.
+struct LowResourceSplit {
+  std::vector<PairExample> labeled;    ///< D_L
+  std::vector<PairExample> unlabeled;  ///< D_U (labels retained for TPR/TNR
+                                       ///< evaluation only; trainers must
+                                       ///< not read them)
+  std::vector<PairExample> valid;
+  std::vector<PairExample> test;
+};
+
+/// Takes `rate` of the training pairs as the labeled set (stratified by
+/// class so tiny rates keep at least one positive), the remainder as the
+/// unlabeled pool. `rate` in (0, 1].
+LowResourceSplit MakeLowResourceSplit(const GemDataset& dataset, double rate,
+                                      core::Rng* rng);
+
+/// Takes exactly `count` labeled training pairs (Table 3's extreme
+/// setting, 80 labels), rest unlabeled.
+LowResourceSplit MakeCountSplit(const GemDataset& dataset, int count,
+                                core::Rng* rng);
+
+/// Fraction of positive labels in a pair list.
+double PositiveRate(const std::vector<PairExample>& pairs);
+
+}  // namespace promptem::data
+
+#endif  // PROMPTEM_DATA_DATASET_H_

@@ -1,0 +1,299 @@
+#include "data/io.h"
+
+#include <sys/stat.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/string_util.h"
+#include "data/json.h"
+
+namespace promptem::data {
+
+namespace {
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+core::Result<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return core::Status::IOError("cannot open: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+/// True when the cell parses fully as a decimal number.
+bool IsNumericCell(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+Value CellToValue(const std::string& cell) {
+  if (IsNumericCell(cell)) {
+    return Value::Num(std::strtod(cell.c_str(), nullptr));
+  }
+  return Value::Str(cell);
+}
+
+std::string ValueToCell(const Value& value) {
+  switch (value.kind()) {
+    case Value::Kind::kString:
+      return value.as_string();
+    case Value::Kind::kNumber:
+      return value.NumberToString();
+    default:
+      // Relational CSV cells must be flat; callers guarantee this.
+      PROMPTEM_CHECK_MSG(false, "CSV cell must be flat");
+      return "";
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  return "\"" + core::ReplaceAll(field, "\"", "\"\"") + "\"";
+}
+
+core::Result<std::vector<Record>> LoadCsvTable(const std::string& path) {
+  auto lines = ReadLines(path);
+  if (!lines.ok()) return lines.status();
+  if (lines.value().empty()) {
+    return core::Status::InvalidArgument("CSV missing header: " + path);
+  }
+  const std::vector<std::string> header = SplitCsvLine(lines.value()[0]);
+  std::vector<Record> table;
+  for (size_t i = 1; i < lines.value().size(); ++i) {
+    if (lines.value()[i].empty()) continue;
+    const std::vector<std::string> cells = SplitCsvLine(lines.value()[i]);
+    if (cells.size() != header.size()) {
+      return core::Status::InvalidArgument(core::StrFormat(
+          "%s line %zu: %zu cells for %zu columns", path.c_str(), i + 1,
+          cells.size(), header.size()));
+    }
+    std::vector<std::pair<std::string, Value>> attrs;
+    attrs.reserve(header.size());
+    for (size_t c = 0; c < header.size(); ++c) {
+      attrs.emplace_back(header[c], CellToValue(cells[c]));
+    }
+    table.push_back(Record::Relational(std::move(attrs)));
+  }
+  return table;
+}
+
+core::Result<std::vector<Record>> LoadJsonlTable(const std::string& path) {
+  auto lines = ReadLines(path);
+  if (!lines.ok()) return lines.status();
+  std::vector<Record> table;
+  for (size_t i = 0; i < lines.value().size(); ++i) {
+    const std::string& line = lines.value()[i];
+    if (core::Trim(line).empty()) continue;
+    core::Result<Record> record = ParseJsonRecord(line);
+    if (!record.ok()) {
+      return core::Status::InvalidArgument(core::StrFormat(
+          "%s line %zu: %s", path.c_str(), i + 1,
+          record.status().message().c_str()));
+    }
+    table.push_back(std::move(record).value());
+  }
+  return table;
+}
+
+core::Result<std::vector<Record>> LoadTextTable(const std::string& path) {
+  auto lines = ReadLines(path);
+  if (!lines.ok()) return lines.status();
+  std::vector<Record> table;
+  for (const auto& line : lines.value()) {
+    if (core::Trim(line).empty()) continue;
+    table.push_back(Record::Textual(line));
+  }
+  return table;
+}
+
+core::Result<std::vector<Record>> LoadTableAuto(const std::string& stem) {
+  if (FileExists(stem + ".csv")) return LoadCsvTable(stem + ".csv");
+  if (FileExists(stem + ".jsonl")) return LoadJsonlTable(stem + ".jsonl");
+  if (FileExists(stem + ".txt")) return LoadTextTable(stem + ".txt");
+  return core::Status::NotFound("no table file at " + stem +
+                                ".{csv,jsonl,txt}");
+}
+
+core::Result<std::vector<PairExample>> LoadPairsCsv(const std::string& path,
+                                                    int left_size,
+                                                    int right_size) {
+  auto lines = ReadLines(path);
+  if (!lines.ok()) return lines.status();
+  std::vector<PairExample> pairs;
+  for (size_t i = 0; i < lines.value().size(); ++i) {
+    const std::string& line = lines.value()[i];
+    if (core::Trim(line).empty()) continue;
+    const std::vector<std::string> cells = SplitCsvLine(line);
+    if (cells.size() != 3) {
+      return core::Status::InvalidArgument(
+          core::StrFormat("%s line %zu: expected 3 fields", path.c_str(),
+                          i + 1));
+    }
+    PairExample pair;
+    pair.left_index = std::atoi(cells[0].c_str());
+    pair.right_index = std::atoi(cells[1].c_str());
+    pair.label = std::atoi(cells[2].c_str());
+    if (pair.left_index < 0 || pair.left_index >= left_size ||
+        pair.right_index < 0 || pair.right_index >= right_size ||
+        (pair.label != 0 && pair.label != 1)) {
+      return core::Status::OutOfRange(core::StrFormat(
+          "%s line %zu: pair out of range", path.c_str(), i + 1));
+    }
+    pairs.push_back(pair);
+  }
+  return pairs;
+}
+
+core::Result<GemDataset> LoadGemDataset(const std::string& dir,
+                                        const std::string& name) {
+  GemDataset ds;
+  ds.name = name;
+  auto left = LoadTableAuto(dir + "/left");
+  if (!left.ok()) return left.status();
+  auto right = LoadTableAuto(dir + "/right");
+  if (!right.ok()) return right.status();
+  ds.left_table = std::move(left).value();
+  ds.right_table = std::move(right).value();
+  const int ln = static_cast<int>(ds.left_table.size());
+  const int rn = static_cast<int>(ds.right_table.size());
+  auto train = LoadPairsCsv(dir + "/pairs_train.csv", ln, rn);
+  if (!train.ok()) return train.status();
+  auto valid = LoadPairsCsv(dir + "/pairs_valid.csv", ln, rn);
+  if (!valid.ok()) return valid.status();
+  auto test = LoadPairsCsv(dir + "/pairs_test.csv", ln, rn);
+  if (!test.ok()) return test.status();
+  ds.train = std::move(train).value();
+  ds.valid = std::move(valid).value();
+  ds.test = std::move(test).value();
+  return ds;
+}
+
+core::Result<std::string> SaveTable(const std::vector<Record>& table,
+                                    const std::string& stem) {
+  PROMPTEM_CHECK(!table.empty());
+  const RecordFormat format = table.front().format;
+  for (const auto& r : table) {
+    if (r.format != format) {
+      return core::Status::InvalidArgument(
+          "mixed record formats in one table");
+    }
+  }
+  std::string path;
+  std::ostringstream out;
+  switch (format) {
+    case RecordFormat::kRelational: {
+      path = stem + ".csv";
+      // Header from the first record's attribute order.
+      const auto& header = table.front().attrs;
+      for (size_t c = 0; c < header.size(); ++c) {
+        if (c > 0) out << ',';
+        out << CsvEscape(header[c].first);
+      }
+      out << '\n';
+      for (const auto& record : table) {
+        if (record.attrs.size() != header.size()) {
+          return core::Status::InvalidArgument(
+              "relational rows must share one schema for CSV export");
+        }
+        for (size_t c = 0; c < record.attrs.size(); ++c) {
+          if (c > 0) out << ',';
+          out << CsvEscape(ValueToCell(record.attrs[c].second));
+        }
+        out << '\n';
+      }
+      break;
+    }
+    case RecordFormat::kSemiStructured: {
+      path = stem + ".jsonl";
+      for (const auto& record : table) out << RecordToJson(record) << '\n';
+      break;
+    }
+    case RecordFormat::kTextual: {
+      path = stem + ".txt";
+      for (const auto& record : table) out << record.text << '\n';
+      break;
+    }
+  }
+  std::ofstream f(path);
+  if (!f) return core::Status::IOError("cannot write: " + path);
+  f << out.str();
+  if (!f) return core::Status::IOError("write failed: " + path);
+  return path;
+}
+
+namespace {
+
+core::Status SavePairs(const std::vector<PairExample>& pairs,
+                       const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return core::Status::IOError("cannot write: " + path);
+  for (const auto& p : pairs) {
+    f << p.left_index << ',' << p.right_index << ',' << p.label << '\n';
+  }
+  return f ? core::Status::OK()
+           : core::Status::IOError("write failed: " + path);
+}
+
+}  // namespace
+
+core::Status SaveGemDataset(const GemDataset& dataset,
+                            const std::string& dir) {
+  ::mkdir(dir.c_str(), 0755);  // best effort; write errors surface below
+  auto left = SaveTable(dataset.left_table, dir + "/left");
+  if (!left.ok()) return left.status();
+  auto right = SaveTable(dataset.right_table, dir + "/right");
+  if (!right.ok()) return right.status();
+  PROMPTEM_RETURN_IF_ERROR(SavePairs(dataset.train,
+                                     dir + "/pairs_train.csv"));
+  PROMPTEM_RETURN_IF_ERROR(SavePairs(dataset.valid,
+                                     dir + "/pairs_valid.csv"));
+  PROMPTEM_RETURN_IF_ERROR(SavePairs(dataset.test, dir + "/pairs_test.csv"));
+  return core::Status::OK();
+}
+
+}  // namespace promptem::data

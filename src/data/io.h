@@ -1,0 +1,63 @@
+#ifndef PROMPTEM_DATA_IO_H_
+#define PROMPTEM_DATA_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "data/dataset.h"
+
+namespace promptem::data {
+
+/// File-based dataset interchange, so the library runs on user data:
+///  - relational tables as CSV (header row = attribute names; numeric
+///    cells become number values),
+///  - semi-structured tables as JSONL (one JSON object per line),
+///  - textual tables as plain text (one record per line),
+///  - labeled pairs as CSV "left_index,right_index,label".
+///
+/// A dataset directory contains: left.csv|left.jsonl|left.txt,
+/// right.csv|right.jsonl|right.txt, and pairs_train.csv /
+/// pairs_valid.csv / pairs_test.csv.
+
+/// Splits one CSV line honoring double-quote quoting ("" escapes a quote).
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+/// Quotes a CSV field when needed.
+std::string CsvEscape(const std::string& field);
+
+/// Loads a relational table from CSV.
+core::Result<std::vector<Record>> LoadCsvTable(const std::string& path);
+
+/// Loads a semi-structured table from JSONL.
+core::Result<std::vector<Record>> LoadJsonlTable(const std::string& path);
+
+/// Loads a textual table (one record per non-empty line).
+core::Result<std::vector<Record>> LoadTextTable(const std::string& path);
+
+/// Loads whichever of path.csv / path.jsonl / path.txt exists for the
+/// given stem ("dir/left").
+core::Result<std::vector<Record>> LoadTableAuto(const std::string& stem);
+
+/// Loads labeled pairs from CSV ("left_index,right_index,label", no
+/// header). Indices are validated against the table sizes.
+core::Result<std::vector<PairExample>> LoadPairsCsv(const std::string& path,
+                                                    int left_size,
+                                                    int right_size);
+
+/// Loads a full dataset from a directory (see the layout above).
+core::Result<GemDataset> LoadGemDataset(const std::string& dir,
+                                        const std::string& name);
+
+/// Writes a table in the format matching its records (CSV for relational,
+/// JSONL for semi-structured, TXT for textual). Returns the path written.
+core::Result<std::string> SaveTable(const std::vector<Record>& table,
+                                    const std::string& stem);
+
+/// Writes a dataset directory loadable by LoadGemDataset.
+core::Status SaveGemDataset(const GemDataset& dataset,
+                            const std::string& dir);
+
+}  // namespace promptem::data
+
+#endif  // PROMPTEM_DATA_IO_H_

@@ -1,0 +1,161 @@
+#include "data/record.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace promptem::data {
+
+Value Value::Str(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::Num(double n) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = n;
+  return v;
+}
+
+Value Value::List(std::vector<Value> items) {
+  Value v;
+  v.kind_ = Kind::kList;
+  v.list_ = std::move(items);
+  return v;
+}
+
+Value Value::Object(std::vector<std::pair<std::string, Value>> fields) {
+  Value v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(fields);
+  return v;
+}
+
+const std::string& Value::as_string() const {
+  PROMPTEM_CHECK(is_string());
+  return str_;
+}
+
+double Value::as_number() const {
+  PROMPTEM_CHECK(is_number());
+  return num_;
+}
+
+const std::vector<Value>& Value::as_list() const {
+  PROMPTEM_CHECK(is_list());
+  return list_;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::as_object() const {
+  PROMPTEM_CHECK(is_object());
+  return object_;
+}
+
+std::string Value::NumberToString() const {
+  PROMPTEM_CHECK(is_number());
+  if (num_ == std::floor(num_) && std::fabs(num_) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(num_));
+    return buf;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%g", num_);
+  return buf;
+}
+
+const char* RecordFormatName(RecordFormat format) {
+  switch (format) {
+    case RecordFormat::kRelational:
+      return "REL";
+    case RecordFormat::kSemiStructured:
+      return "SEMI";
+    case RecordFormat::kTextual:
+      return "TEXT";
+  }
+  return "?";
+}
+
+Record Record::Relational(
+    std::vector<std::pair<std::string, Value>> attrs) {
+  Record r;
+  r.format = RecordFormat::kRelational;
+  r.attrs = std::move(attrs);
+  return r;
+}
+
+Record Record::SemiStructured(
+    std::vector<std::pair<std::string, Value>> attrs) {
+  Record r;
+  r.format = RecordFormat::kSemiStructured;
+  r.attrs = std::move(attrs);
+  return r;
+}
+
+Record Record::Textual(std::string text) {
+  Record r;
+  r.format = RecordFormat::kTextual;
+  r.text = std::move(text);
+  return r;
+}
+
+int Record::NumAttrs() const {
+  if (format == RecordFormat::kTextual) return 1;
+  return static_cast<int>(attrs.size());
+}
+
+const Value* Record::Find(const std::string& attr) const {
+  for (const auto& [name, value] : attrs) {
+    if (name == attr) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+bool IsFlat(const Value& v) { return v.is_string() || v.is_number(); }
+
+}  // namespace
+
+core::Status ValidateRecord(const Record& record) {
+  switch (record.format) {
+    case RecordFormat::kTextual:
+      if (!record.attrs.empty()) {
+        return core::Status::InvalidArgument(
+            "textual record must not carry attributes");
+      }
+      return core::Status::OK();
+    case RecordFormat::kRelational:
+      if (!record.text.empty()) {
+        return core::Status::InvalidArgument(
+            "relational record must not carry free text");
+      }
+      for (const auto& [name, value] : record.attrs) {
+        if (name.empty()) {
+          return core::Status::InvalidArgument("empty attribute name");
+        }
+        if (!IsFlat(value)) {
+          return core::Status::InvalidArgument(
+              "relational attribute must be flat: " + name);
+        }
+      }
+      return core::Status::OK();
+    case RecordFormat::kSemiStructured:
+      if (!record.text.empty()) {
+        return core::Status::InvalidArgument(
+            "semi-structured record must not carry free text");
+      }
+      for (const auto& [name, value] : record.attrs) {
+        (void)value;
+        if (name.empty()) {
+          return core::Status::InvalidArgument("empty attribute name");
+        }
+      }
+      return core::Status::OK();
+  }
+  return core::Status::Internal("unknown record format");
+}
+
+}  // namespace promptem::data

@@ -1,0 +1,81 @@
+#ifndef PROMPTEM_DATA_RECORD_H_
+#define PROMPTEM_DATA_RECORD_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace promptem::data {
+
+/// The value of one attribute in a (semi-)structured entity. Supports the
+/// shapes GEM needs: strings, numbers, lists (e.g., author lists), and
+/// nested objects (semi-structured JSON-like records).
+class Value {
+ public:
+  enum class Kind { kString, kNumber, kList, kObject };
+
+  /// Factories.
+  static Value Str(std::string s);
+  static Value Num(double n);
+  static Value List(std::vector<Value> items);
+  static Value Object(std::vector<std::pair<std::string, Value>> fields);
+
+  Kind kind() const { return kind_; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_list() const { return kind_ == Kind::kList; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  const std::string& as_string() const;
+  double as_number() const;
+  const std::vector<Value>& as_list() const;
+  const std::vector<std::pair<std::string, Value>>& as_object() const;
+
+  /// Number formatting drops trailing zeros ("2003", "4.5").
+  std::string NumberToString() const;
+
+ private:
+  Kind kind_ = Kind::kString;
+  std::string str_;
+  double num_ = 0.0;
+  std::vector<Value> list_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Storage format of one entity table (paper §2.1): relational rows,
+/// semi-structured JSON-like objects, or unstructured text.
+enum class RecordFormat { kRelational, kSemiStructured, kTextual };
+
+const char* RecordFormatName(RecordFormat format);
+
+/// One entity record. Relational records hold flat attributes (string or
+/// number values only); semi-structured records may nest lists/objects;
+/// textual records carry a single free-text body.
+struct Record {
+  RecordFormat format = RecordFormat::kRelational;
+  std::vector<std::pair<std::string, Value>> attrs;  ///< empty for textual
+  std::string text;                                  ///< textual only
+
+  static Record Relational(
+      std::vector<std::pair<std::string, Value>> attrs);
+  static Record SemiStructured(
+      std::vector<std::pair<std::string, Value>> attrs);
+  static Record Textual(std::string text);
+
+  /// Number of top-level attributes (textual records count as 1, matching
+  /// how the paper's Table 1 reports #attr for text tables).
+  int NumAttrs() const;
+
+  /// Looks up a top-level attribute value; nullptr when absent.
+  const Value* Find(const std::string& attr) const;
+};
+
+/// Validates structural invariants (relational records must be flat, text
+/// records must have no attrs). Returns InvalidArgument on violation.
+core::Status ValidateRecord(const Record& record);
+
+}  // namespace promptem::data
+
+#endif  // PROMPTEM_DATA_RECORD_H_

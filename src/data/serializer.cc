@@ -1,0 +1,76 @@
+#include "data/serializer.h"
+
+namespace promptem::data {
+
+namespace {
+
+void AppendValue(const Value& value, std::string* out);
+
+void AppendObject(
+    const std::vector<std::pair<std::string, Value>>& fields,
+    std::string* out) {
+  for (const auto& [name, value] : fields) {
+    if (!out->empty()) out->push_back(' ');
+    out->append("[COL] ");
+    out->append(name);
+    out->append(" [VAL]");
+    if (value.is_object()) {
+      // Recursive tagging for each nesting level (paper §2.2 rule (i)).
+      // AppendObject inserts its own separating space.
+      AppendObject(value.as_object(), out);
+    } else {
+      std::string rendered;
+      AppendValue(value, &rendered);
+      if (!rendered.empty()) {
+        out->push_back(' ');
+        out->append(rendered);
+      }
+    }
+  }
+}
+
+void AppendValue(const Value& value, std::string* out) {
+  switch (value.kind()) {
+    case Value::Kind::kString:
+      out->append(value.as_string());
+      return;
+    case Value::Kind::kNumber:
+      out->append(value.NumberToString());
+      return;
+    case Value::Kind::kList: {
+      // Rule (ii): concatenate list elements into one string.
+      bool first = true;
+      for (const auto& item : value.as_list()) {
+        if (!first) out->push_back(' ');
+        first = false;
+        AppendValue(item, out);
+      }
+      return;
+    }
+    case Value::Kind::kObject:
+      AppendObject(value.as_object(), out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::string SerializeValue(const Value& value) {
+  std::string out;
+  AppendValue(value, &out);
+  return out;
+}
+
+std::string SerializeRecord(const Record& record) {
+  if (record.format == RecordFormat::kTextual) return record.text;
+  std::string out;
+  AppendObject(record.attrs, &out);
+  return out;
+}
+
+std::string SerializePair(const Record& left, const Record& right) {
+  return "[CLS] " + SerializeRecord(left) + " [SEP] " +
+         SerializeRecord(right) + " [SEP]";
+}
+
+}  // namespace promptem::data

@@ -1,0 +1,28 @@
+#ifndef PROMPTEM_DATA_SERIALIZER_H_
+#define PROMPTEM_DATA_SERIALIZER_H_
+
+#include <string>
+
+#include "data/record.h"
+
+namespace promptem::data {
+
+/// Serializes one entity record per the paper's §2.2:
+///  - structured:     [COL] attr1 [VAL] val1 ... [COL] attrN [VAL] valN
+///  - semi-structured: like structured, but nested objects recursively add
+///    [COL]/[VAL] tags at each level, and list values are concatenated
+///    into one string;
+///  - textual: the text itself (already a sequence).
+std::string SerializeRecord(const Record& record);
+
+/// Serializes one attribute value (lists joined with spaces, nested
+/// objects rendered recursively with [COL]/[VAL] tags).
+std::string SerializeValue(const Value& value);
+
+/// Builds the candidate-pair input of §2.3:
+/// "[CLS] serialize(e) [SEP] serialize(e') [SEP]".
+std::string SerializePair(const Record& left, const Record& right);
+
+}  // namespace promptem::data
+
+#endif  // PROMPTEM_DATA_SERIALIZER_H_

@@ -1,0 +1,117 @@
+#include "lm/corpus.h"
+
+#include "data/serializer.h"
+#include "text/tokenizer.h"
+
+namespace promptem::lm {
+
+namespace {
+
+/// A "noisy copy" of a token sequence: random drops and local swaps. Used
+/// to make self-pair pre-training documents resemble real matching pairs
+/// (which never repeat verbatim) instead of exact copies.
+std::vector<std::string> NoisyCopy(const std::vector<std::string>& tokens,
+                                   core::Rng* rng) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const auto& tok : tokens) {
+    if (tokens.size() > 4 && rng->Bernoulli(0.25)) continue;
+    out.push_back(tok);
+  }
+  if (out.empty()) out = tokens;
+  for (size_t i = 1; i < out.size(); ++i) {
+    if (rng->Bernoulli(0.1)) std::swap(out[i - 1], out[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> Tokens(const data::Record& record) {
+  return text::WordTokenize(data::SerializeRecord(record));
+}
+
+void Append(std::vector<std::string>* doc,
+            const std::vector<std::string>& tokens) {
+  doc->insert(doc->end(), tokens.begin(), tokens.end());
+}
+
+}  // namespace
+
+Corpus BuildCorpus(const std::vector<data::GemDataset>& datasets,
+                   uint64_t seed) {
+  core::Rng rng(seed ^ 0xC0121955ULL);
+  Corpus corpus;
+
+  // Cloze phrasings mirroring the downstream templates (§3.1). The word
+  // slots are filled with the verbalizer's label words so the MLM head
+  // pre-learns the overlap -> label-word mapping — the "rich knowledge in
+  // the LM" that prompt-tuning stimulates and a fresh classification head
+  // cannot reuse (Challenge I). Everything here is self-supervised:
+  // "similar" pairs are a record with a noisy copy of itself; "different"
+  // pairs are two random records. No match labels are consulted.
+  static const char* kYesWords[] = {"matched", "similar", "relevant"};
+  static const char* kNoWords[] = {"mismatched", "different", "irrelevant"};
+
+  auto add_pair_doc = [&](const std::vector<std::string>& a,
+                          const std::vector<std::string>& b, bool positive) {
+    const char* word = positive ? kYesWords[rng.NextU64(3)]
+                                : kNoWords[rng.NextU64(3)];
+    std::vector<std::string> doc;
+    doc.reserve(a.size() + b.size() + 6);
+    doc.emplace_back("[CLS]");
+    if (rng.Bernoulli(0.5)) {
+      // T2 shape: a is <word> to b.
+      Append(&doc, a);
+      doc.emplace_back("is");
+      doc.emplace_back(word);
+      doc.emplace_back("to");
+      Append(&doc, b);
+      doc.emplace_back("[SEP]");
+    } else {
+      // T1 shape: a [SEP] b [SEP] they are <word>.
+      Append(&doc, a);
+      doc.emplace_back("[SEP]");
+      Append(&doc, b);
+      doc.emplace_back("[SEP]");
+      doc.emplace_back("they");
+      doc.emplace_back("are");
+      doc.emplace_back(word);
+    }
+    corpus.documents.push_back(std::move(doc));
+  };
+
+  for (const auto& ds : datasets) {
+    std::vector<const data::Record*> records;
+    for (const auto& r : ds.left_table) records.push_back(&r);
+    for (const auto& r : ds.right_table) records.push_back(&r);
+    for (const data::Record* record : records) {
+      const std::vector<std::string> tokens = Tokens(*record);
+      // Plain document, shaped like one input segment.
+      std::vector<std::string> plain;
+      plain.reserve(tokens.size() + 2);
+      plain.emplace_back("[CLS]");
+      Append(&plain, tokens);
+      plain.emplace_back("[SEP]");
+      corpus.documents.push_back(std::move(plain));
+      // "Similar" pair: the record with a noisy copy of itself.
+      add_pair_doc(tokens, NoisyCopy(tokens, &rng), /*positive=*/true);
+      // "Different" pair: the record with a random other record from the
+      // same pool (vanishingly unlikely to be a true match, and noisy
+      // labels at this rate are harmless for pre-training).
+      const data::Record* other =
+          records[rng.NextU64(records.size())];
+      if (other != record) {
+        add_pair_doc(tokens, Tokens(*other), /*positive=*/false);
+      }
+    }
+  }
+  return corpus;
+}
+
+text::Vocab BuildCorpusVocab(const Corpus& corpus,
+                             const std::vector<std::string>& always_keep,
+                             int min_count, int max_size) {
+  return text::BuildVocab(corpus.documents, min_count, max_size,
+                          always_keep);
+}
+
+}  // namespace promptem::lm

@@ -1,0 +1,35 @@
+#ifndef PROMPTEM_LM_CORPUS_H_
+#define PROMPTEM_LM_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "text/vocab.h"
+
+namespace promptem::lm {
+
+/// A pre-training corpus: tokenized documents (one per entity record)
+/// drawn from benchmark tables. The LM pre-trains on these with the MLM
+/// objective, standing in for RoBERTa's web-scale pre-training at the
+/// benchmark-domain scale (DESIGN.md §1).
+struct Corpus {
+  std::vector<std::vector<std::string>> documents;
+};
+
+/// Serializes and tokenizes every record of every dataset into documents:
+/// plain records, self-pair "similar" cloze documents, and random-pair
+/// "different" cloze documents (self-supervised; see corpus.cc).
+Corpus BuildCorpus(const std::vector<data::GemDataset>& datasets,
+                   uint64_t seed = 7);
+
+/// Builds the shared vocabulary over a corpus. `always_keep` should carry
+/// the verbalizer's label words so they are never [UNK].
+text::Vocab BuildCorpusVocab(const Corpus& corpus,
+                             const std::vector<std::string>& always_keep,
+                             int min_count = 1, int max_size = 0);
+
+}  // namespace promptem::lm
+
+#endif  // PROMPTEM_LM_CORPUS_H_

@@ -1,0 +1,121 @@
+#include "lm/mlm.h"
+
+#include <algorithm>
+
+#include "core/log.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "text/tokenizer.h"
+
+namespace promptem::lm {
+
+namespace ops = tensor::ops;
+using text::SpecialTokens;
+
+MlmInstance MaskTokens(const std::vector<int>& ids, int vocab_size,
+                       float mask_prob, core::Rng* rng) {
+  MlmInstance inst;
+  inst.input_ids = ids;
+  inst.targets.assign(ids.size(), -1);
+  int masked = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    // Never corrupt special tokens.
+    if (ids[i] < SpecialTokens::kCount) continue;
+    if (!rng->Bernoulli(mask_prob)) continue;
+    inst.targets[i] = ids[i];
+    ++masked;
+    const double roll = rng->NextDouble();
+    if (roll < 0.8) {
+      inst.input_ids[i] = SpecialTokens::kMask;
+    } else if (roll < 0.9) {
+      inst.input_ids[i] = SpecialTokens::kCount +
+                          static_cast<int>(rng->NextU64(static_cast<uint64_t>(
+                              vocab_size - SpecialTokens::kCount)));
+    }  // else: keep original token.
+  }
+  if (masked == 0 && !ids.empty()) {
+    // Guarantee a learning signal on short documents.
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] >= SpecialTokens::kCount) {
+        inst.targets[i] = ids[i];
+        inst.input_ids[i] = SpecialTokens::kMask;
+        break;
+      }
+    }
+  }
+  return inst;
+}
+
+std::vector<float> PretrainMlm(nn::TransformerEncoder* encoder,
+                               const Corpus& corpus,
+                               const text::Vocab& vocab,
+                               const MlmOptions& options, core::Rng* rng) {
+  PROMPTEM_CHECK(encoder != nullptr);
+  encoder->SetTraining(true);
+  nn::AdamWConfig opt_config;
+  opt_config.lr = options.lr;
+  nn::AdamW optimizer(encoder->Parameters(), opt_config);
+
+  // Pre-encode all documents once.
+  std::vector<std::vector<int>> encoded;
+  encoded.reserve(corpus.documents.size());
+  for (const auto& doc : corpus.documents) {
+    std::vector<int> ids = text::TokensToIds(vocab, doc);
+    if (static_cast<int>(ids.size()) > options.max_seq_len) {
+      ids.resize(static_cast<size_t>(options.max_seq_len));
+    }
+    if (!ids.empty()) encoded.push_back(std::move(ids));
+  }
+  PROMPTEM_CHECK_MSG(!encoded.empty(), "empty pre-training corpus");
+
+  std::vector<float> epoch_losses;
+  std::vector<size_t> order(encoded.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng->Shuffle(&order);
+    double total_loss = 0.0;
+    int64_t steps = 0;
+    for (size_t idx : order) {
+      MlmInstance inst = MaskTokens(encoded[idx], vocab.size(),
+                                    options.mask_prob, rng);
+      if (!options.always_mask_ids.empty()) {
+        for (size_t i = 0; i < encoded[idx].size(); ++i) {
+          const int original = encoded[idx][i];
+          for (int forced : options.always_mask_ids) {
+            if (original == forced) {
+              inst.targets[i] = original;
+              inst.input_ids[i] = SpecialTokens::kMask;
+            }
+          }
+        }
+      }
+      std::vector<int> positions;
+      std::vector<int> labels;
+      for (size_t i = 0; i < inst.targets.size(); ++i) {
+        if (inst.targets[i] >= 0) {
+          positions.push_back(static_cast<int>(i));
+          labels.push_back(inst.targets[i]);
+        }
+      }
+      if (positions.empty()) continue;
+      tensor::Tensor hidden = encoder->Encode(inst.input_ids, rng);
+      tensor::Tensor logits = encoder->MlmLogits(hidden, positions);
+      tensor::Tensor loss = ops::CrossEntropyLogits(logits, labels);
+      total_loss += loss.item();
+      ++steps;
+      loss.Backward();
+      optimizer.Step();
+      optimizer.ZeroGrad();
+      if (options.log_every > 0 && steps % options.log_every == 0) {
+        PROMPTEM_LOG(Info) << "mlm epoch " << epoch << " step " << steps
+                           << " loss " << total_loss / steps;
+      }
+    }
+    epoch_losses.push_back(
+        steps == 0 ? 0.0f : static_cast<float>(total_loss / steps));
+  }
+  return epoch_losses;
+}
+
+}  // namespace promptem::lm

@@ -1,0 +1,48 @@
+#ifndef PROMPTEM_LM_MLM_H_
+#define PROMPTEM_LM_MLM_H_
+
+#include <vector>
+
+#include "lm/corpus.h"
+#include "nn/transformer.h"
+
+namespace promptem::lm {
+
+/// Masked-LM pre-training options (BERT-style 15% selection with 80/10/10
+/// mask/random/keep corruption).
+struct MlmOptions {
+  int epochs = 3;
+  float mask_prob = 0.15f;
+  float lr = 1e-3f;
+  int max_seq_len = 64;
+  int log_every = 0;  ///< 0 disables progress logging
+  /// Token ids that are always masked when present (the verbalizer's
+  /// label words, so every cloze document trains the label-word mapping).
+  std::vector<int> always_mask_ids;
+  /// Same, by surface form — resolved against the vocabulary by
+  /// PretrainedLM::Pretrain (which builds the vocab) into always_mask_ids.
+  std::vector<std::string> always_mask_words;
+};
+
+/// One masked training instance.
+struct MlmInstance {
+  std::vector<int> input_ids;  ///< with [MASK]/random corruptions applied
+  std::vector<int> targets;    ///< original id at masked positions, -1 else
+};
+
+/// Applies the 15% / 80-10-10 corruption to a token-id sequence. Ensures
+/// at least one position is masked for non-empty inputs.
+MlmInstance MaskTokens(const std::vector<int>& ids, int vocab_size,
+                       float mask_prob, core::Rng* rng);
+
+/// Pre-trains `encoder` on the corpus with the MLM objective. Returns the
+/// final average loss per epoch (front = first epoch), so callers and
+/// tests can assert the loss decreases.
+std::vector<float> PretrainMlm(nn::TransformerEncoder* encoder,
+                               const Corpus& corpus,
+                               const text::Vocab& vocab,
+                               const MlmOptions& options, core::Rng* rng);
+
+}  // namespace promptem::lm
+
+#endif  // PROMPTEM_LM_MLM_H_

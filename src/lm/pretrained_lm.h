@@ -1,0 +1,69 @@
+#ifndef PROMPTEM_LM_PRETRAINED_LM_H_
+#define PROMPTEM_LM_PRETRAINED_LM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lm/mlm.h"
+#include "nn/transformer.h"
+
+namespace promptem::lm {
+
+/// The "pre-trained language model" every matcher starts from: a shared
+/// vocabulary plus an MLM-pre-trained transformer encoder. Plays the role
+/// of RoBERTa-base in the paper (see DESIGN.md §1 for the substitution).
+///
+/// Methods clone the encoder weights (nn::CopyParameters) before tuning so
+/// each experiment starts from the same pre-trained state.
+class PretrainedLM {
+ public:
+  /// Builds the vocabulary from `corpus`, constructs the encoder with
+  /// `config` (vocab_size is overwritten), and pre-trains it.
+  static std::unique_ptr<PretrainedLM> Pretrain(
+      const Corpus& corpus, nn::TransformerConfig config,
+      const MlmOptions& options,
+      const std::vector<std::string>& always_keep_tokens, core::Rng* rng);
+
+  /// Loads vocab + weights saved by Save(). Status on failure.
+  static core::Result<std::unique_ptr<PretrainedLM>> Load(
+      const std::string& path_prefix);
+
+  /// Writes "<prefix>.vocab" and "<prefix>.ckpt".
+  core::Status Save(const std::string& path_prefix) const;
+
+  /// Makes a fresh encoder with identical architecture and copies the
+  /// pre-trained weights into it (the starting point for tuning).
+  std::unique_ptr<nn::TransformerEncoder> CloneEncoder(
+      core::Rng* rng) const;
+
+  const text::Vocab& vocab() const { return vocab_; }
+  const nn::TransformerConfig& config() const { return config_; }
+  const nn::TransformerEncoder& encoder() const { return *encoder_; }
+  const std::vector<float>& pretrain_losses() const {
+    return pretrain_losses_;
+  }
+
+ private:
+  PretrainedLM() = default;
+
+  text::Vocab vocab_;
+  nn::TransformerConfig config_;
+  std::unique_ptr<nn::TransformerEncoder> encoder_;
+  std::vector<float> pretrain_losses_;
+};
+
+/// Benchmark-harness convenience: loads the shared LM from `path_prefix`
+/// if present, otherwise pre-trains it on all eight benchmarks (seeded)
+/// and saves it, so every bench binary reuses one pre-training run.
+std::unique_ptr<PretrainedLM> GetOrCreateSharedLM(
+    const std::string& path_prefix, uint64_t seed);
+
+/// The label words that must survive vocabulary construction (the union of
+/// the designed and simple verbalizers plus template words; see
+/// promptem/verbalizer.h).
+std::vector<std::string> RequiredPromptTokens();
+
+}  // namespace promptem::lm
+
+#endif  // PROMPTEM_LM_PRETRAINED_LM_H_

@@ -1,0 +1,54 @@
+#include "nn/attention.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace promptem::nn {
+
+namespace ops = tensor::ops;
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int dim, int num_heads,
+                                               float dropout, core::Rng* rng)
+    : dim_(dim),
+      num_heads_(num_heads),
+      head_dim_(dim / num_heads),
+      wq_(dim, dim, rng),
+      wk_(dim, dim, rng),
+      wv_(dim, dim, rng),
+      wo_(dim, dim, rng),
+      attn_dropout_(dropout) {
+  PROMPTEM_CHECK_MSG(dim % num_heads == 0, "dim must divide by heads");
+  RegisterModule("wq", &wq_);
+  RegisterModule("wk", &wk_);
+  RegisterModule("wv", &wv_);
+  RegisterModule("wo", &wo_);
+  RegisterModule("attn_dropout", &attn_dropout_);
+}
+
+tensor::Tensor MultiHeadSelfAttention::Forward(const tensor::Tensor& x,
+                                               core::Rng* rng) const {
+  PROMPTEM_CHECK(x.ndim() == 2 && x.dim(1) == dim_);
+  tensor::Tensor q = wq_.Forward(x);
+  tensor::Tensor k = wk_.Forward(x);
+  tensor::Tensor v = wv_.Forward(x);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  std::vector<tensor::Tensor> head_outputs;
+  head_outputs.reserve(num_heads_);
+  for (int h = 0; h < num_heads_; ++h) {
+    std::vector<int> cols(head_dim_);
+    std::iota(cols.begin(), cols.end(), h * head_dim_);
+    tensor::Tensor qh = ops::SelectCols(q, cols);
+    tensor::Tensor kh = ops::SelectCols(k, cols);
+    tensor::Tensor vh = ops::SelectCols(v, cols);
+    tensor::Tensor scores =
+        ops::Scale(ops::MatMul(qh, kh, false, /*trans_b=*/true), scale);
+    tensor::Tensor attn = ops::Softmax(scores);
+    attn = attn_dropout_.Forward(attn, rng);
+    head_outputs.push_back(ops::MatMul(attn, vh));
+  }
+  tensor::Tensor merged = ops::ConcatCols(head_outputs);
+  return wo_.Forward(merged);
+}
+
+}  // namespace promptem::nn

@@ -1,0 +1,35 @@
+#ifndef PROMPTEM_NN_ATTENTION_H_
+#define PROMPTEM_NN_ATTENTION_H_
+
+#include <memory>
+
+#include "nn/layers.h"
+
+namespace promptem::nn {
+
+/// Multi-head self-attention over one unpadded sequence [T, D].
+/// Per-sample sequences carry no padding, so no attention mask is needed.
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(int dim, int num_heads, float dropout,
+                         core::Rng* rng);
+
+  /// x: [T, D] -> [T, D].
+  tensor::Tensor Forward(const tensor::Tensor& x, core::Rng* rng) const;
+
+  int num_heads() const { return num_heads_; }
+
+ private:
+  int dim_;
+  int num_heads_;
+  int head_dim_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+  DropoutLayer attn_dropout_;
+};
+
+}  // namespace promptem::nn
+
+#endif  // PROMPTEM_NN_ATTENTION_H_

@@ -1,0 +1,73 @@
+#include "nn/lstm.h"
+
+#include <numeric>
+
+namespace promptem::nn {
+
+namespace ops = tensor::ops;
+
+Lstm::Lstm(int input_dim, int hidden_dim, core::Rng* rng)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      wx_(input_dim, 4 * hidden_dim, rng),
+      wh_(hidden_dim, 4 * hidden_dim, rng, /*bias=*/false) {
+  RegisterModule("wx", &wx_);
+  RegisterModule("wh", &wh_);
+}
+
+tensor::Tensor Lstm::Forward(const tensor::Tensor& x) const {
+  PROMPTEM_CHECK(x.ndim() == 2 && x.dim(1) == input_dim_);
+  const int t_len = x.dim(0);
+  const int h = hidden_dim_;
+
+  std::vector<int> gate_i(h), gate_f(h), gate_g(h), gate_o(h);
+  std::iota(gate_i.begin(), gate_i.end(), 0);
+  std::iota(gate_f.begin(), gate_f.end(), h);
+  std::iota(gate_g.begin(), gate_g.end(), 2 * h);
+  std::iota(gate_o.begin(), gate_o.end(), 3 * h);
+
+  // Project the whole input once: [T, 4H].
+  tensor::Tensor xproj = wx_.Forward(x);
+
+  tensor::Tensor h_prev = tensor::Tensor::Zeros({1, h});
+  tensor::Tensor c_prev = tensor::Tensor::Zeros({1, h});
+  std::vector<tensor::Tensor> outputs;
+  outputs.reserve(t_len);
+  for (int t = 0; t < t_len; ++t) {
+    tensor::Tensor gates = ops::Add(ops::SelectRows(xproj, {t}),
+                                    wh_.Forward(h_prev));
+    tensor::Tensor i_gate = ops::Sigmoid(ops::SelectCols(gates, gate_i));
+    tensor::Tensor f_gate = ops::Sigmoid(ops::SelectCols(gates, gate_f));
+    tensor::Tensor g_gate = ops::Tanh(ops::SelectCols(gates, gate_g));
+    tensor::Tensor o_gate = ops::Sigmoid(ops::SelectCols(gates, gate_o));
+    tensor::Tensor c_new = ops::Add(ops::Mul(f_gate, c_prev),
+                                    ops::Mul(i_gate, g_gate));
+    tensor::Tensor h_new = ops::Mul(o_gate, ops::Tanh(c_new));
+    outputs.push_back(h_new);
+    h_prev = h_new;
+    c_prev = c_new;
+  }
+  return ops::ConcatRows(outputs);
+}
+
+BiLstm::BiLstm(int input_dim, int hidden_dim, core::Rng* rng)
+    : forward_(input_dim, hidden_dim, rng),
+      backward_(input_dim, hidden_dim, rng) {
+  RegisterModule("fwd", &forward_);
+  RegisterModule("bwd", &backward_);
+}
+
+tensor::Tensor BiLstm::Forward(const tensor::Tensor& x) const {
+  const int t_len = x.dim(0);
+  std::vector<int> reversed(t_len);
+  for (int i = 0; i < t_len; ++i) reversed[i] = t_len - 1 - i;
+
+  tensor::Tensor fwd_out = forward_.Forward(x);
+  tensor::Tensor bwd_out =
+      backward_.Forward(ops::SelectRows(x, reversed));
+  // Un-reverse the backward pass so both directions align per position.
+  bwd_out = ops::SelectRows(bwd_out, reversed);
+  return ops::ConcatCols({fwd_out, bwd_out});
+}
+
+}  // namespace promptem::nn

@@ -1,0 +1,44 @@
+#ifndef PROMPTEM_NN_LSTM_H_
+#define PROMPTEM_NN_LSTM_H_
+
+#include "nn/layers.h"
+
+namespace promptem::nn {
+
+/// Single-layer unidirectional LSTM unrolled over a [T, in] sequence.
+/// Gate order in the packed 4H projections: input, forget, cell, output.
+class Lstm : public Module {
+ public:
+  Lstm(int input_dim, int hidden_dim, core::Rng* rng);
+
+  /// x: [T, in] -> hidden states [T, H].
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  int hidden_dim() const { return hidden_dim_; }
+
+ private:
+  int input_dim_;
+  int hidden_dim_;
+  Linear wx_;  // in -> 4H
+  Linear wh_;  // H -> 4H (no bias; wx_ carries it)
+};
+
+/// Bidirectional LSTM: forward and backward passes concatenated -> [T, 2H].
+/// Used by P-tuning to contextualize continuous prompt tokens (paper §3.1)
+/// and by the DeepMatcher baseline's attribute aggregator.
+class BiLstm : public Module {
+ public:
+  BiLstm(int input_dim, int hidden_dim, core::Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  int output_dim() const { return 2 * forward_.hidden_dim(); }
+
+ private:
+  Lstm forward_;
+  Lstm backward_;
+};
+
+}  // namespace promptem::nn
+
+#endif  // PROMPTEM_NN_LSTM_H_

@@ -1,0 +1,76 @@
+#include "nn/module.h"
+
+#include <cmath>
+
+namespace promptem::nn {
+
+std::vector<NamedParam> Module::NamedParameters() const {
+  std::vector<NamedParam> out;
+  CollectParameters("", &out);
+  return out;
+}
+
+std::vector<tensor::Tensor> Module::Parameters() const {
+  std::vector<tensor::Tensor> out;
+  for (const auto& np : NamedParameters()) out.push_back(np.param);
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (auto& p : Parameters()) p.ZeroGrad();
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, child] : children_) child->SetTraining(training);
+}
+
+int64_t Module::NumParams() const {
+  int64_t n = 0;
+  for (const auto& p : Parameters()) n += p.numel();
+  return n;
+}
+
+tensor::Tensor Module::RegisterParameter(const std::string& name,
+                                         tensor::Tensor param) {
+  param.set_requires_grad(true);
+  params_.push_back({name, param});
+  return param;
+}
+
+void Module::RegisterModule(const std::string& name, Module* child) {
+  PROMPTEM_CHECK(child != nullptr);
+  children_.emplace_back(name, child);
+}
+
+void Module::CollectParameters(const std::string& prefix,
+                               std::vector<NamedParam>* out) const {
+  for (const auto& np : params_) {
+    out->push_back({prefix.empty() ? np.name : prefix + "." + np.name,
+                    np.param});
+  }
+  for (const auto& [name, child] : children_) {
+    child->CollectParameters(prefix.empty() ? name : prefix + "." + name,
+                             out);
+  }
+}
+
+void XavierInit(tensor::Tensor* t, core::Rng* rng) {
+  PROMPTEM_CHECK(t->ndim() == 2);
+  const float fan_out = static_cast<float>(t->dim(0));
+  const float fan_in = static_cast<float>(t->dim(1));
+  const float bound = std::sqrt(6.0f / (fan_in + fan_out));
+  float* p = t->data();
+  for (int64_t i = 0; i < t->numel(); ++i) {
+    p[i] = rng->Uniform(-bound, bound);
+  }
+}
+
+void NormalInit(tensor::Tensor* t, float stddev, core::Rng* rng) {
+  float* p = t->data();
+  for (int64_t i = 0; i < t->numel(); ++i) {
+    p[i] = rng->Gaussian(0.0f, stddev);
+  }
+}
+
+}  // namespace promptem::nn

@@ -1,0 +1,76 @@
+#ifndef PROMPTEM_NN_MODULE_H_
+#define PROMPTEM_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/rng.h"
+#include "tensor/tensor.h"
+
+namespace promptem::nn {
+
+/// A named trainable parameter.
+struct NamedParam {
+  std::string name;
+  tensor::Tensor param;
+};
+
+/// Base class for layers and models. Subclasses register parameters and
+/// child modules in their constructors; the base provides recursive
+/// parameter collection, grad zeroing, train/eval mode, and counting.
+///
+/// Forward signatures are defined per subclass (no generic virtual
+/// forward): layers operate on per-sample 2-D tensors.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All parameters of this module and children, with dotted names
+  /// ("encoder.layer0.attn.wq.weight").
+  std::vector<NamedParam> NamedParameters() const;
+
+  /// Flat list of parameter tensors.
+  std::vector<tensor::Tensor> Parameters() const;
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad();
+
+  /// Train/eval mode (controls dropout). Propagates to children.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+  /// Total scalar parameter count.
+  int64_t NumParams() const;
+
+ protected:
+  /// Registers a trainable tensor under `name`; sets requires_grad.
+  tensor::Tensor RegisterParameter(const std::string& name,
+                                   tensor::Tensor param);
+
+  /// Registers a child module (non-owning; children are members of the
+  /// subclass and must outlive it).
+  void RegisterModule(const std::string& name, Module* child);
+
+ private:
+  void CollectParameters(const std::string& prefix,
+                         std::vector<NamedParam>* out) const;
+
+  std::vector<NamedParam> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+  bool training_ = true;
+};
+
+/// Xavier/Glorot uniform initialization for a [fan_out, fan_in] matrix.
+void XavierInit(tensor::Tensor* t, core::Rng* rng);
+
+/// Gaussian init with the given stddev (embedding tables, prompts).
+void NormalInit(tensor::Tensor* t, float stddev, core::Rng* rng);
+
+}  // namespace promptem::nn
+
+#endif  // PROMPTEM_NN_MODULE_H_

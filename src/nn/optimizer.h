@@ -1,0 +1,55 @@
+#ifndef PROMPTEM_NN_OPTIMIZER_H_
+#define PROMPTEM_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace promptem::nn {
+
+/// AdamW configuration (paper defaults: lr 2e-5 for the LM; heads use
+/// larger rates).
+struct AdamWConfig {
+  float lr = 2e-5f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.01f;
+  /// Clips the global gradient norm before the step; <= 0 disables.
+  float max_grad_norm = 1.0f;
+};
+
+/// Decoupled-weight-decay Adam (Loshchilov & Hutter). Holds moment state
+/// per parameter; parameters are captured at construction.
+class AdamW {
+ public:
+  AdamW(std::vector<tensor::Tensor> params, AdamWConfig config);
+
+  /// Applies one update from the accumulated gradients, then leaves grads
+  /// in place (call ZeroGrad afterwards — typically via Module::ZeroGrad).
+  void Step();
+
+  /// Zeroes every tracked parameter's gradient.
+  void ZeroGrad();
+
+  /// Adjusts the learning rate (for warmup/decay schedules).
+  void set_lr(float lr) { config_.lr = lr; }
+  float lr() const { return config_.lr; }
+
+  int64_t step_count() const { return step_count_; }
+
+ private:
+  std::vector<tensor::Tensor> params_;
+  AdamWConfig config_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  int64_t step_count_ = 0;
+};
+
+/// Linear warmup for `warmup_steps`, then constant. Returns the lr to use
+/// at `step` (1-based).
+float WarmupLr(float base_lr, int64_t step, int64_t warmup_steps);
+
+}  // namespace promptem::nn
+
+#endif  // PROMPTEM_NN_OPTIMIZER_H_

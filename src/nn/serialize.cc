@@ -1,0 +1,153 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+
+#include "core/string_util.h"
+
+namespace promptem::nn {
+
+namespace {
+constexpr char kMagic[8] = {'P', 'E', 'M', 'C', 'K', 'P', 'T', '1'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU32(std::FILE* f, uint32_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+
+bool ReadU32(std::FILE* f, uint32_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+}  // namespace
+
+core::Status SaveCheckpoint(const Module& module, const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return core::Status::IOError("cannot open for write: " + path);
+  auto params = module.NamedParameters();
+  if (std::fwrite(kMagic, sizeof(kMagic), 1, f.get()) != 1 ||
+      !WriteU32(f.get(), static_cast<uint32_t>(params.size()))) {
+    return core::Status::IOError("write header failed: " + path);
+  }
+  for (const auto& np : params) {
+    const auto& shape = np.param.shape();
+    if (!WriteU32(f.get(), static_cast<uint32_t>(np.name.size())) ||
+        std::fwrite(np.name.data(), 1, np.name.size(), f.get()) !=
+            np.name.size() ||
+        !WriteU32(f.get(), static_cast<uint32_t>(shape.size()))) {
+      return core::Status::IOError("write entry failed: " + path);
+    }
+    for (int d : shape) {
+      if (!WriteU32(f.get(), static_cast<uint32_t>(d))) {
+        return core::Status::IOError("write shape failed: " + path);
+      }
+    }
+    const size_t n = static_cast<size_t>(np.param.numel());
+    if (std::fwrite(np.param.data(), sizeof(float), n, f.get()) != n) {
+      return core::Status::IOError("write data failed: " + path);
+    }
+  }
+  return core::Status::OK();
+}
+
+core::Status LoadCheckpoint(Module* module, const std::string& path,
+                            bool strict) {
+  PROMPTEM_CHECK(module != nullptr);
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return core::Status::IOError("cannot open for read: " + path);
+  char magic[8];
+  if (std::fread(magic, sizeof(magic), 1, f.get()) != 1 ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return core::Status::InvalidArgument("bad checkpoint magic: " + path);
+  }
+  uint32_t count = 0;
+  if (!ReadU32(f.get(), &count)) {
+    return core::Status::IOError("read count failed: " + path);
+  }
+
+  std::map<std::string, tensor::Tensor> by_name;
+  for (auto& np : module->NamedParameters()) by_name.emplace(np.name, np.param);
+
+  size_t matched = 0;
+  for (uint32_t e = 0; e < count; ++e) {
+    uint32_t name_len = 0;
+    if (!ReadU32(f.get(), &name_len) || name_len > 4096) {
+      return core::Status::IOError("read name length failed: " + path);
+    }
+    std::string name(name_len, '\0');
+    if (std::fread(name.data(), 1, name_len, f.get()) != name_len) {
+      return core::Status::IOError("read name failed: " + path);
+    }
+    uint32_t ndim = 0;
+    if (!ReadU32(f.get(), &ndim) || ndim > 8) {
+      return core::Status::IOError("read ndim failed: " + path);
+    }
+    std::vector<int> shape(ndim);
+    size_t n = 1;
+    for (uint32_t d = 0; d < ndim; ++d) {
+      uint32_t dim = 0;
+      if (!ReadU32(f.get(), &dim)) {
+        return core::Status::IOError("read dim failed: " + path);
+      }
+      shape[d] = static_cast<int>(dim);
+      n *= dim;
+    }
+    std::vector<float> values(n);
+    if (std::fread(values.data(), sizeof(float), n, f.get()) != n) {
+      return core::Status::IOError("read data failed: " + path);
+    }
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      if (strict) {
+        return core::Status::NotFound("checkpoint param not in module: " +
+                                      name);
+      }
+      continue;
+    }
+    if (!tensor::SameShape(it->second.shape(), shape)) {
+      return core::Status::InvalidArgument(
+          core::StrFormat("shape mismatch for %s", name.c_str()));
+    }
+    std::memcpy(it->second.data(), values.data(), n * sizeof(float));
+    ++matched;
+  }
+  if (strict && matched != by_name.size()) {
+    return core::Status::FailedPrecondition(
+        core::StrFormat("checkpoint matched %zu of %zu module params",
+                        matched, by_name.size()));
+  }
+  return core::Status::OK();
+}
+
+core::Status CopyParameters(const Module& source, Module* target) {
+  PROMPTEM_CHECK(target != nullptr);
+  auto src = source.NamedParameters();
+  auto dst = target->NamedParameters();
+  if (src.size() != dst.size()) {
+    return core::Status::InvalidArgument(core::StrFormat(
+        "parameter count mismatch: %zu vs %zu", src.size(), dst.size()));
+  }
+  std::map<std::string, tensor::Tensor> by_name;
+  for (auto& np : dst) by_name.emplace(np.name, np.param);
+  for (const auto& np : src) {
+    auto it = by_name.find(np.name);
+    if (it == by_name.end()) {
+      return core::Status::NotFound("target missing param: " + np.name);
+    }
+    if (!tensor::SameShape(it->second.shape(), np.param.shape())) {
+      return core::Status::InvalidArgument("shape mismatch: " + np.name);
+    }
+    it->second.CopyDataFrom(np.param);
+  }
+  return core::Status::OK();
+}
+
+}  // namespace promptem::nn

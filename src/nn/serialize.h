@@ -1,0 +1,29 @@
+#ifndef PROMPTEM_NN_SERIALIZE_H_
+#define PROMPTEM_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "nn/module.h"
+
+namespace promptem::nn {
+
+/// Writes all named parameters of `module` to a binary checkpoint.
+/// Format: magic "PEMCKPT1", u32 count, then per parameter:
+/// u32 name_len, name bytes, u32 ndim, u32 dims..., float32 data.
+core::Status SaveCheckpoint(const Module& module, const std::string& path);
+
+/// Loads a checkpoint into `module`. Every stored name must exist in the
+/// module with an identical shape; unmatched module parameters keep their
+/// current values (strict=false) or make the load fail (strict=true).
+core::Status LoadCheckpoint(Module* module, const std::string& path,
+                            bool strict = true);
+
+/// In-memory deep copy of parameters from one module into another with the
+/// same architecture (used to clone the pre-trained LM into each method's
+/// model, and the teacher into the student).
+core::Status CopyParameters(const Module& source, Module* target);
+
+}  // namespace promptem::nn
+
+#endif  // PROMPTEM_NN_SERIALIZE_H_

@@ -1,0 +1,116 @@
+#include "nn/transformer.h"
+
+#include "text/vocab.h"
+
+#include <map>
+#include <numeric>
+
+namespace promptem::nn {
+
+namespace ops = tensor::ops;
+
+TransformerEncoderLayer::TransformerEncoderLayer(
+    const TransformerConfig& config, core::Rng* rng)
+    : attn_(config.dim, config.num_heads, config.dropout, rng),
+      ffn1_(config.dim, config.ffn_dim, rng),
+      ffn2_(config.ffn_dim, config.dim, rng),
+      ln1_(config.dim),
+      ln2_(config.dim),
+      dropout_(config.dropout) {
+  RegisterModule("attn", &attn_);
+  RegisterModule("ffn1", &ffn1_);
+  RegisterModule("ffn2", &ffn2_);
+  RegisterModule("ln1", &ln1_);
+  RegisterModule("ln2", &ln2_);
+  RegisterModule("dropout", &dropout_);
+}
+
+tensor::Tensor TransformerEncoderLayer::Forward(const tensor::Tensor& x,
+                                                core::Rng* rng) const {
+  tensor::Tensor attn_out = dropout_.Forward(attn_.Forward(x, rng), rng);
+  tensor::Tensor h = ln1_.Forward(ops::Add(x, attn_out));
+  tensor::Tensor ffn = ffn2_.Forward(ops::Gelu(ffn1_.Forward(h)));
+  ffn = dropout_.Forward(ffn, rng);
+  return ln2_.Forward(ops::Add(h, ffn));
+}
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig& config,
+                                       core::Rng* rng)
+    : config_(config),
+      token_embedding_(config.vocab_size, config.dim, rng),
+      position_embedding_(config.max_seq_len, config.dim, rng),
+      dup_embedding_(2, config.dim, rng),
+      embed_ln_(config.dim),
+      embed_dropout_(config.dropout) {
+  PROMPTEM_CHECK(config.vocab_size > 0);
+  RegisterModule("tok", &token_embedding_);
+  RegisterModule("pos", &position_embedding_);
+  RegisterModule("dup", &dup_embedding_);
+  RegisterModule("embed_ln", &embed_ln_);
+  RegisterModule("embed_dropout", &embed_dropout_);
+  for (int i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(
+        std::make_unique<TransformerEncoderLayer>(config, rng));
+    RegisterModule("layer" + std::to_string(i), layers_.back().get());
+  }
+  mlm_bias_ = RegisterParameter(
+      "mlm_bias", tensor::Tensor::Zeros({config.vocab_size}));
+}
+
+std::vector<int> TransformerEncoder::DuplicateFlags(
+    const std::vector<int>& ids) {
+  std::map<int, int> counts;
+  for (int id : ids) ++counts[id];
+  std::vector<int> flags(ids.size(), 0);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] >= text::SpecialTokens::kCount && counts[ids[i]] >= 2) {
+      flags[i] = 1;
+    }
+  }
+  return flags;
+}
+
+tensor::Tensor TransformerEncoder::EmbedRows(
+    const tensor::Tensor& rows, const std::vector<int>& dup_flags,
+    core::Rng* rng) const {
+  PROMPTEM_CHECK(rows.ndim() == 2 && rows.dim(1) == config_.dim);
+  const int t = rows.dim(0);
+  PROMPTEM_CHECK_MSG(t <= config_.max_seq_len,
+                     "sequence exceeds max_seq_len");
+  std::vector<int> positions(t);
+  std::iota(positions.begin(), positions.end(), 0);
+  tensor::Tensor emb = ops::Add(rows, position_embedding_.Forward(positions));
+  if (!dup_flags.empty()) {
+    PROMPTEM_CHECK(static_cast<int>(dup_flags.size()) == t);
+    emb = ops::Add(emb, dup_embedding_.Forward(dup_flags));
+  }
+  emb = embed_ln_.Forward(emb);
+  return embed_dropout_.Forward(emb, rng);
+}
+
+tensor::Tensor TransformerEncoder::Embed(const std::vector<int>& ids,
+                                         core::Rng* rng) const {
+  return EmbedRows(token_embedding_.Forward(ids), DuplicateFlags(ids), rng);
+}
+
+tensor::Tensor TransformerEncoder::EncodeEmbedded(
+    const tensor::Tensor& embedded, core::Rng* rng) const {
+  tensor::Tensor h = embedded;
+  for (const auto& layer : layers_) h = layer->Forward(h, rng);
+  return h;
+}
+
+tensor::Tensor TransformerEncoder::Encode(const std::vector<int>& ids,
+                                          core::Rng* rng) const {
+  return EncodeEmbedded(Embed(ids, rng), rng);
+}
+
+tensor::Tensor TransformerEncoder::MlmLogits(
+    const tensor::Tensor& hidden, const std::vector<int>& positions) const {
+  tensor::Tensor selected = ops::SelectRows(hidden, positions);
+  tensor::Tensor logits = ops::MatMul(selected, token_embedding_.table(),
+                                      false, /*trans_b=*/true);
+  return ops::AddBias(logits, mlm_bias_);
+}
+
+}  // namespace promptem::nn

@@ -1,0 +1,66 @@
+#include "promptem/active_learning.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace promptem::em {
+
+std::vector<ActiveLearningRound> RunActiveLearning(
+    const ModelFactory& factory, std::vector<EncodedPair> labeled,
+    std::vector<EncodedPair> unlabeled,
+    const std::vector<EncodedPair>& valid,
+    const ActiveLearningConfig& config,
+    std::unique_ptr<PairClassifier>* final_model) {
+  PROMPTEM_CHECK(final_model != nullptr);
+  core::Rng rng(config.seed);
+  std::vector<ActiveLearningRound> history;
+
+  std::unique_ptr<PairClassifier> model;
+  for (int round = 0; round < config.rounds; ++round) {
+    // Retrain from the pre-trained initialization on the current labels.
+    model = factory();
+    TrainResult result =
+        TrainClassifier(model.get(), labeled, valid, config.train_options);
+
+    ActiveLearningRound entry;
+    entry.round = round;
+    entry.labeled_size = labeled.size();
+    entry.valid = result.best_valid;
+    history.push_back(entry);
+
+    if (unlabeled.empty() || round + 1 == config.rounds) continue;
+
+    // Acquisition: most MC-Dropout-uncertain samples first.
+    std::vector<float> uncertainty(unlabeled.size());
+    for (size_t i = 0; i < unlabeled.size(); ++i) {
+      uncertainty[i] = McDropoutEstimate(model.get(), unlabeled[i],
+                                         config.mc_passes, &rng)
+                           .uncertainty;
+    }
+    std::vector<size_t> order(unlabeled.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return uncertainty[a] > uncertainty[b];
+    });
+    const size_t budget = std::min<size_t>(
+        static_cast<size_t>(config.budget_per_round), unlabeled.size());
+    std::vector<bool> taken(unlabeled.size(), false);
+    for (size_t k = 0; k < budget; ++k) {
+      const size_t i = order[k];
+      taken[i] = true;
+      // The oracle reveals the gold label (already stored in the pool).
+      labeled.push_back(unlabeled[i]);
+    }
+    std::vector<EncodedPair> remaining;
+    remaining.reserve(unlabeled.size() - budget);
+    for (size_t i = 0; i < unlabeled.size(); ++i) {
+      if (!taken[i]) remaining.push_back(std::move(unlabeled[i]));
+    }
+    unlabeled = std::move(remaining);
+  }
+
+  *final_model = std::move(model);
+  return history;
+}
+
+}  // namespace promptem::em

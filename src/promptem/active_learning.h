@@ -1,0 +1,45 @@
+#ifndef PROMPTEM_PROMPTEM_ACTIVE_LEARNING_H_
+#define PROMPTEM_PROMPTEM_ACTIVE_LEARNING_H_
+
+#include <memory>
+#include <vector>
+
+#include "promptem/self_training.h"
+
+namespace promptem::em {
+
+/// Uncertainty-driven active learning — the complementary use of the
+/// MC-Dropout machinery (§4.2): where self-training consumes the *least*
+/// uncertain unlabeled samples as pseudo-labels, active learning sends
+/// the *most* uncertain ones to an oracle for true labels. The paper
+/// cites this line of work (Kasai et al., ACL'19; Nafa et al., 2022) as
+/// the other road out of the low-resource dilemma; this extension lets
+/// the two be compared inside one framework.
+struct ActiveLearningConfig {
+  int rounds = 3;
+  int budget_per_round = 8;  ///< oracle labels purchased per round
+  int mc_passes = 10;
+  TrainOptions train_options;
+  uint64_t seed = 29;
+};
+
+/// One round's outcome.
+struct ActiveLearningRound {
+  int round = 0;
+  size_t labeled_size = 0;  ///< after acquisition
+  Metrics valid;            ///< model quality after retraining
+};
+
+/// Runs `rounds` of acquire-most-uncertain -> reveal gold label ->
+/// retrain. The unlabeled pool's `label` fields act as the oracle.
+/// Returns per-round stats; `*final_model` receives the last model.
+std::vector<ActiveLearningRound> RunActiveLearning(
+    const ModelFactory& factory, std::vector<EncodedPair> labeled,
+    std::vector<EncodedPair> unlabeled,
+    const std::vector<EncodedPair>& valid,
+    const ActiveLearningConfig& config,
+    std::unique_ptr<PairClassifier>* final_model);
+
+}  // namespace promptem::em
+
+#endif  // PROMPTEM_PROMPTEM_ACTIVE_LEARNING_H_

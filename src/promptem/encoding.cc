@@ -1,0 +1,60 @@
+#include "promptem/encoding.h"
+
+#include "data/serializer.h"
+#include "text/tokenizer.h"
+
+namespace promptem::em {
+
+PairEncoder::PairEncoder(const text::Vocab* vocab, int per_side_budget)
+    : vocab_(vocab), per_side_budget_(per_side_budget) {
+  PROMPTEM_CHECK(vocab != nullptr);
+  PROMPTEM_CHECK(per_side_budget > 0);
+}
+
+void PairEncoder::FitSummarizer(const data::GemDataset& dataset) {
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(dataset.left_table.size() + dataset.right_table.size());
+  for (const auto& r : dataset.left_table) {
+    docs.push_back(text::WordTokenize(data::SerializeRecord(r)));
+  }
+  for (const auto& r : dataset.right_table) {
+    docs.push_back(text::WordTokenize(data::SerializeRecord(r)));
+  }
+  tfidf_ = std::make_unique<text::TfIdf>(docs);
+}
+
+std::vector<int> PairEncoder::EncodeRecord(const data::Record& record) const {
+  std::vector<std::string> tokens =
+      text::WordTokenize(data::SerializeRecord(record));
+  const auto budget = static_cast<size_t>(per_side_budget_);
+  if (tokens.size() > budget) {
+    if (tfidf_ != nullptr) {
+      // Appendix F: keep high-TF-IDF non-stopword tokens instead of
+      // blindly truncating (important signal is rarely at the front).
+      tokens = text::SummarizeTokens(*tfidf_, tokens, budget);
+    } else {
+      tokens.resize(budget);
+    }
+  }
+  return text::TokensToIds(*vocab_, tokens);
+}
+
+EncodedPair PairEncoder::Encode(const data::GemDataset& dataset,
+                                const data::PairExample& pair) const {
+  EncodedPair out;
+  out.left_ids = EncodeRecord(dataset.Left(pair));
+  out.right_ids = EncodeRecord(dataset.Right(pair));
+  out.label = pair.label;
+  return out;
+}
+
+std::vector<EncodedPair> PairEncoder::EncodeAll(
+    const data::GemDataset& dataset,
+    const std::vector<data::PairExample>& pairs) const {
+  std::vector<EncodedPair> out;
+  out.reserve(pairs.size());
+  for (const auto& p : pairs) out.push_back(Encode(dataset, p));
+  return out;
+}
+
+}  // namespace promptem::em

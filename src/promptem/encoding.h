@@ -1,0 +1,56 @@
+#ifndef PROMPTEM_PROMPTEM_ENCODING_H_
+#define PROMPTEM_PROMPTEM_ENCODING_H_
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.h"
+#include "text/tfidf.h"
+#include "text/vocab.h"
+
+namespace promptem::em {
+
+/// A candidate pair ready for a model: both sides tokenized to ids,
+/// truncated/summarized to a per-side budget. Label is carried alongside
+/// (and hidden from trainers for unlabeled pools).
+struct EncodedPair {
+  std::vector<int> left_ids;
+  std::vector<int> right_ids;
+  int label = 0;  ///< ground truth (hidden for D_U except in evaluation)
+};
+
+/// Turns records into EncodedPairs: serialize (§2.2), tokenize, and apply
+/// the Appendix-F TF-IDF summarizer when a side exceeds its token budget.
+class PairEncoder {
+ public:
+  /// `per_side_budget` bounds each record's tokens so the final model input
+  /// (with template and special tokens) fits the encoder's max_seq_len.
+  PairEncoder(const text::Vocab* vocab, int per_side_budget);
+
+  /// Builds corpus statistics for the summarizer from both tables.
+  void FitSummarizer(const data::GemDataset& dataset);
+
+  /// Encodes one record side.
+  std::vector<int> EncodeRecord(const data::Record& record) const;
+
+  /// Encodes one labeled pair.
+  EncodedPair Encode(const data::GemDataset& dataset,
+                     const data::PairExample& pair) const;
+
+  /// Encodes a whole pair list.
+  std::vector<EncodedPair> EncodeAll(
+      const data::GemDataset& dataset,
+      const std::vector<data::PairExample>& pairs) const;
+
+  int per_side_budget() const { return per_side_budget_; }
+  const text::Vocab& vocab() const { return *vocab_; }
+
+ private:
+  const text::Vocab* vocab_;
+  int per_side_budget_;
+  std::unique_ptr<text::TfIdf> tfidf_;
+};
+
+}  // namespace promptem::em
+
+#endif  // PROMPTEM_PROMPTEM_ENCODING_H_

@@ -1,0 +1,56 @@
+#include "promptem/metrics.h"
+
+#include "core/status.h"
+#include "core/string_util.h"
+
+namespace promptem::em {
+
+double Metrics::Precision() const {
+  return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / (tp + fp);
+}
+
+double Metrics::Recall() const {
+  return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / (tp + fn);
+}
+
+double Metrics::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double Metrics::Accuracy() const {
+  const int total = tp + fp + tn + fn;
+  return total == 0 ? 0.0 : static_cast<double>(tp + tn) / total;
+}
+
+double Metrics::Tnr() const {
+  return tn + fp == 0 ? 0.0 : static_cast<double>(tn) / (tn + fp);
+}
+
+std::string Metrics::ToString() const {
+  return core::StrFormat("P=%.1f R=%.1f F1=%.1f", Precision() * 100.0,
+                         Recall() * 100.0, F1() * 100.0);
+}
+
+Metrics ComputeMetrics(const std::vector<int>& predictions,
+                       const std::vector<int>& gold) {
+  PROMPTEM_CHECK(predictions.size() == gold.size());
+  Metrics m;
+  for (size_t i = 0; i < predictions.size(); ++i) {
+    const bool pred = predictions[i] == 1;
+    const bool truth = gold[i] == 1;
+    if (pred && truth) {
+      ++m.tp;
+    } else if (pred && !truth) {
+      ++m.fp;
+    } else if (!pred && truth) {
+      ++m.fn;
+    } else {
+      ++m.tn;
+    }
+  }
+  return m;
+}
+
+}  // namespace promptem::em

@@ -1,0 +1,35 @@
+#ifndef PROMPTEM_PROMPTEM_METRICS_H_
+#define PROMPTEM_PROMPTEM_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace promptem::em {
+
+/// Binary classification counts and the paper's evaluation metrics.
+struct Metrics {
+  int tp = 0;
+  int fp = 0;
+  int tn = 0;
+  int fn = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  double Accuracy() const;
+  /// True-positive rate (= recall) and true-negative rate, used by the
+  /// pseudo-label quality study (Table 5).
+  double Tpr() const { return Recall(); }
+  double Tnr() const;
+
+  /// "P=xx.x R=xx.x F1=xx.x".
+  std::string ToString() const;
+};
+
+/// Tallies predictions (1 = match) against gold labels.
+Metrics ComputeMetrics(const std::vector<int>& predictions,
+                       const std::vector<int>& gold);
+
+}  // namespace promptem::em
+
+#endif  // PROMPTEM_PROMPTEM_METRICS_H_

@@ -1,0 +1,153 @@
+#include "promptem/pseudo_labels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace promptem::em {
+
+const char* PseudoLabelStrategyName(PseudoLabelStrategy strategy) {
+  switch (strategy) {
+    case PseudoLabelStrategy::kUncertainty:
+      return "uncertainty";
+    case PseudoLabelStrategy::kConfidence:
+      return "confidence";
+    case PseudoLabelStrategy::kClustering:
+      return "clustering";
+  }
+  return "?";
+}
+
+void KMeans(const std::vector<std::vector<float>>& points, int k,
+            int iterations, core::Rng* rng, std::vector<int>* assignment,
+            std::vector<double>* distance) {
+  PROMPTEM_CHECK(!points.empty());
+  PROMPTEM_CHECK(k >= 1);
+  const size_t n = points.size();
+  const size_t dim = points[0].size();
+  for (const auto& p : points) PROMPTEM_CHECK(p.size() == dim);
+
+  // Initialize centroids from distinct random points.
+  std::vector<std::vector<float>> centroids;
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  for (int c = 0; c < k; ++c) {
+    centroids.push_back(points[order[static_cast<size_t>(c) % n]]);
+  }
+
+  assignment->assign(n, 0);
+  distance->assign(n, 0.0);
+  auto dist2 = [&](const std::vector<float>& a, const std::vector<float>& b) {
+    double d = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      const double diff = static_cast<double>(a[i]) - b[i];
+      d += diff * diff;
+    }
+    return d;
+  };
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    // Assign.
+    for (size_t i = 0; i < n; ++i) {
+      double best = dist2(points[i], centroids[0]);
+      int best_c = 0;
+      for (int c = 1; c < k; ++c) {
+        const double d = dist2(points[i], centroids[static_cast<size_t>(c)]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      (*assignment)[i] = best_c;
+      (*distance)[i] = std::sqrt(best);
+    }
+    // Update.
+    std::vector<std::vector<double>> sums(
+        static_cast<size_t>(k), std::vector<double>(dim, 0.0));
+    std::vector<int> counts(static_cast<size_t>(k), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const int c = (*assignment)[i];
+      ++counts[static_cast<size_t>(c)];
+      for (size_t d = 0; d < dim; ++d) {
+        sums[static_cast<size_t>(c)][d] += points[i][d];
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;
+      for (size_t d = 0; d < dim; ++d) {
+        centroids[static_cast<size_t>(c)][d] = static_cast<float>(
+            sums[static_cast<size_t>(c)][d] / counts[static_cast<size_t>(c)]);
+      }
+    }
+  }
+}
+
+PseudoLabelResult SelectPseudoLabels(
+    PairClassifier* teacher, const std::vector<EncodedPair>& unlabeled,
+    PseudoLabelStrategy strategy, double ratio, int mc_passes,
+    core::Rng* rng, const EmbeddingFn& embed) {
+  PseudoLabelResult result;
+  if (unlabeled.empty()) return result;
+  PROMPTEM_CHECK(ratio > 0.0 && ratio <= 1.0);
+
+  const size_t n = unlabeled.size();
+  const size_t n_p =
+      std::max<size_t>(1, static_cast<size_t>(ratio * n + 0.5));
+
+  // Teacher estimates for every unlabeled sample.
+  std::vector<McEstimate> estimates;
+  estimates.reserve(n);
+  for (const auto& x : unlabeled) {
+    estimates.push_back(McDropoutEstimate(teacher, x, mc_passes, rng));
+  }
+
+  // Selection score: larger = selected earlier.
+  std::vector<double> score(n, 0.0);
+  switch (strategy) {
+    case PseudoLabelStrategy::kUncertainty:
+      // Eq. 2: Top-N_P by negative uncertainty (least uncertain first).
+      for (size_t i = 0; i < n; ++i) score[i] = -estimates[i].uncertainty;
+      break;
+    case PseudoLabelStrategy::kConfidence:
+      for (size_t i = 0; i < n; ++i) score[i] = estimates[i].confidence;
+      break;
+    case PseudoLabelStrategy::kClustering: {
+      PROMPTEM_CHECK_MSG(embed != nullptr,
+                         "clustering strategy needs an embedding fn");
+      std::vector<std::vector<float>> points;
+      points.reserve(n);
+      for (const auto& x : unlabeled) points.push_back(embed(x, rng));
+      std::vector<int> assignment;
+      std::vector<double> distance;
+      KMeans(points, /*k=*/2, /*iterations=*/10, rng, &assignment,
+             &distance);
+      for (size_t i = 0; i < n; ++i) score[i] = -distance[i];
+      break;
+    }
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return score[a] > score[b]; });
+  order.resize(n_p);
+
+  int tp = 0, fp = 0, tn = 0, fn = 0;
+  for (size_t i : order) {
+    result.indices.push_back(static_cast<int>(i));
+    const int pseudo = estimates[i].pseudo_label;
+    result.pseudo_labels.push_back(pseudo);
+    const int gold = unlabeled[i].label;  // hidden label, evaluation only
+    if (gold == 1) {
+      (pseudo == 1 ? tp : fn) += 1;
+    } else {
+      (pseudo == 0 ? tn : fp) += 1;
+    }
+  }
+  result.tpr = tp + fn == 0 ? 1.0 : static_cast<double>(tp) / (tp + fn);
+  result.tnr = tn + fp == 0 ? 1.0 : static_cast<double>(tn) / (tn + fp);
+  return result;
+}
+
+}  // namespace promptem::em

@@ -1,0 +1,48 @@
+#ifndef PROMPTEM_PROMPTEM_PSEUDO_LABELS_H_
+#define PROMPTEM_PROMPTEM_PSEUDO_LABELS_H_
+
+#include <functional>
+
+#include "promptem/uncertainty.h"
+
+namespace promptem::em {
+
+/// Pseudo-label selection strategies compared in §5.5 / Table 5.
+enum class PseudoLabelStrategy {
+  kUncertainty,  ///< top-N least MC-Dropout uncertainty (PromptEM's choice)
+  kConfidence,   ///< top-N highest mean confidence
+  kClustering,   ///< k-means on pair embeddings; nearest-to-centroid first
+};
+
+const char* PseudoLabelStrategyName(PseudoLabelStrategy strategy);
+
+/// Produces a [1, dim]-style flat embedding for one pair (clustering).
+using EmbeddingFn =
+    std::function<std::vector<float>(const EncodedPair&, core::Rng*)>;
+
+/// The selected pseudo-labeled subset of D_U.
+struct PseudoLabelResult {
+  std::vector<int> indices;        ///< into the unlabeled pool
+  std::vector<int> pseudo_labels;  ///< teacher labels for those indices
+  /// Quality of the selected pseudo-labels versus the (hidden) gold
+  /// labels — only used for the Table 5 evaluation, never by training.
+  double tpr = 0.0;
+  double tnr = 0.0;
+};
+
+/// Selects N_P = ratio * |unlabeled| pseudo-labels with the given strategy
+/// (Eq. 2 for uncertainty). `embed` is required for kClustering.
+PseudoLabelResult SelectPseudoLabels(
+    PairClassifier* teacher, const std::vector<EncodedPair>& unlabeled,
+    PseudoLabelStrategy strategy, double ratio, int mc_passes,
+    core::Rng* rng, const EmbeddingFn& embed = nullptr);
+
+/// Plain k-means (Lloyd's); returns per-point cluster assignment and the
+/// distance to the assigned centroid. Deterministic given the rng.
+void KMeans(const std::vector<std::vector<float>>& points, int k,
+            int iterations, core::Rng* rng, std::vector<int>* assignment,
+            std::vector<double>* distance);
+
+}  // namespace promptem::em
+
+#endif  // PROMPTEM_PROMPTEM_PSEUDO_LABELS_H_

@@ -1,0 +1,185 @@
+#include "promptem/self_training.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/log.h"
+#include "core/timer.h"
+#include "nn/optimizer.h"
+
+namespace promptem::em {
+
+namespace {
+
+/// Student phase: supervised training with dynamic data pruning (DDP)
+/// interleaved every `prune_every` epochs (Algorithm 1, lines 9-15).
+void TrainStudentWithPruning(PairClassifier* student,
+                             std::vector<EncodedPair>* train_set,
+                             const std::vector<EncodedPair>& valid,
+                             const SelfTrainingConfig& config,
+                             SelfTrainingStats* stats,
+                             std::vector<std::vector<float>>* best_snapshot,
+                             double* best_f1) {
+  core::Rng rng(config.student_options.seed);
+  nn::Module* module = student->AsModule();
+  nn::AdamWConfig opt_config;
+  opt_config.lr = config.student_options.lr;
+  opt_config.weight_decay = config.student_options.weight_decay;
+  nn::AdamW optimizer(module->Parameters(), opt_config);
+
+  for (int epoch = 1; epoch <= config.student_options.epochs; ++epoch) {
+    module->SetTraining(true);
+    std::vector<size_t> order(train_set->size());
+    std::iota(order.begin(), order.end(), 0);
+    rng.Shuffle(&order);
+    int in_batch = 0;
+    for (size_t idx : order) {
+      const EncodedPair& x = (*train_set)[idx];
+      tensor::Tensor loss = student->Loss(x, x.label, &rng);
+      loss.Backward();
+      ++stats->student_samples;
+      if (++in_batch == config.student_options.batch_size) {
+        optimizer.Step();
+        optimizer.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.Step();
+      optimizer.ZeroGrad();
+    }
+
+    // Dynamic data pruning: drop the N_D least-important samples (lowest
+    // MC-EL2N, Eq. 3) every `prune_every` epochs.
+    if (config.use_pruning && config.prune_every > 0 &&
+        epoch % config.prune_every == 0 && train_set->size() > 4) {
+      const size_t n_d = static_cast<size_t>(
+          config.prune_ratio * static_cast<double>(train_set->size()));
+      if (n_d > 0) {
+        std::vector<float> scores(train_set->size());
+        for (size_t i = 0; i < train_set->size(); ++i) {
+          scores[i] = McEl2nScore(student, (*train_set)[i],
+                                  (*train_set)[i].label, config.mc_passes,
+                                  &rng);
+        }
+        std::vector<size_t> by_score(train_set->size());
+        std::iota(by_score.begin(), by_score.end(), 0);
+        std::stable_sort(by_score.begin(), by_score.end(),
+                         [&](size_t a, size_t b) {
+                           return scores[a] < scores[b];
+                         });
+        std::vector<bool> drop(train_set->size(), false);
+        for (size_t i = 0; i < n_d; ++i) drop[by_score[i]] = true;
+        std::vector<EncodedPair> kept;
+        kept.reserve(train_set->size() - n_d);
+        for (size_t i = 0; i < train_set->size(); ++i) {
+          if (!drop[i]) kept.push_back((*train_set)[i]);
+        }
+        stats->pruned_total += static_cast<int>(n_d);
+        *train_set = std::move(kept);
+      }
+    }
+
+    if (!valid.empty()) {
+      Metrics m = Evaluate(student, valid);
+      if (m.F1() > *best_f1) {
+        *best_f1 = m.F1();
+        *best_snapshot = SnapshotParams(*module);
+        stats->student_best_valid = m;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<PairClassifier> RunSelfTraining(
+    const ModelFactory& factory, const std::vector<EncodedPair>& labeled,
+    const std::vector<EncodedPair>& unlabeled,
+    const std::vector<EncodedPair>& valid, const SelfTrainingConfig& config,
+    SelfTrainingStats* stats, const EmbeddingFn& embed) {
+  PROMPTEM_CHECK(stats != nullptr);
+  core::Rng rng(config.seed);
+
+  std::vector<EncodedPair> d_l = labeled;
+  std::vector<EncodedPair> d_u = unlabeled;
+
+  // Teachers and students share one architecture (same factory), so the
+  // best model across all phases is tracked as a parameter snapshot and
+  // materialized once at the end.
+  std::vector<std::vector<float>> best_snapshot;
+  double best_f1 = -1.0;
+
+  for (int iteration = 0; iteration < config.iterations; ++iteration) {
+    // Teacher phase (lines 2-4).
+    core::Timer teacher_timer;
+    std::unique_ptr<PairClassifier> teacher = factory();
+    stats->teacher_result = TrainClassifier(
+        teacher.get(), d_l, valid, config.teacher_options);
+    stats->teacher_seconds += teacher_timer.ElapsedSeconds();
+
+    if (!config.use_pseudo_labels) {
+      // Ablation "w/o LST": the teacher IS the model.
+      stats->student_best_valid = stats->teacher_result.best_valid;
+      return teacher;
+    }
+
+    // The teacher competes with the students for best-on-validation, so a
+    // noisy pseudo-label round can never make the final model worse than
+    // plain supervised training.
+    if (stats->teacher_result.best_valid.F1() > best_f1) {
+      best_f1 = stats->teacher_result.best_valid.F1();
+      best_snapshot = SnapshotParams(*teacher->AsModule());
+      stats->student_best_valid = stats->teacher_result.best_valid;
+    }
+
+    // Uncertainty-aware pseudo-label selection (lines 5-8).
+    if (!d_u.empty()) {
+      stats->pseudo = SelectPseudoLabels(teacher.get(), d_u,
+                                         config.strategy,
+                                         config.pseudo_ratio,
+                                         config.mc_passes, &rng, embed);
+      std::vector<bool> taken(d_u.size(), false);
+      for (size_t i = 0; i < stats->pseudo.indices.size(); ++i) {
+        const int idx = stats->pseudo.indices[i];
+        EncodedPair pseudo = d_u[static_cast<size_t>(idx)];
+        pseudo.label = stats->pseudo.pseudo_labels[i];
+        d_l.push_back(std::move(pseudo));
+        taken[static_cast<size_t>(idx)] = true;
+      }
+      std::vector<EncodedPair> remaining;
+      remaining.reserve(d_u.size());
+      for (size_t i = 0; i < d_u.size(); ++i) {
+        if (!taken[i]) remaining.push_back(std::move(d_u[i]));
+      }
+      d_u = std::move(remaining);
+    }
+
+    // Student phase with dynamic data pruning (lines 9-15).
+    core::Timer student_timer;
+    std::unique_ptr<PairClassifier> student = factory();
+    std::vector<EncodedPair> student_train = d_l;
+    std::vector<std::vector<float>> snapshot;
+    double f1 = best_f1;
+    TrainStudentWithPruning(student.get(), &student_train, valid, config,
+                            stats, &snapshot, &f1);
+    stats->student_seconds += student_timer.ElapsedSeconds();
+    if (f1 > best_f1 && !snapshot.empty()) {
+      best_f1 = f1;
+      best_snapshot = std::move(snapshot);
+    }
+  }
+
+  std::unique_ptr<PairClassifier> best_model = factory();
+  if (best_snapshot.empty()) {
+    // Empty validation set: fall back to a fresh model trained on the
+    // augmented labeled set.
+    TrainClassifier(best_model.get(), d_l, valid, config.student_options);
+    return best_model;
+  }
+  RestoreParams(best_model->AsModule(), best_snapshot);
+  best_model->AsModule()->SetTraining(false);
+  return best_model;
+}
+
+}  // namespace promptem::em

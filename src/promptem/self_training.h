@@ -1,0 +1,55 @@
+#ifndef PROMPTEM_PROMPTEM_SELF_TRAINING_H_
+#define PROMPTEM_PROMPTEM_SELF_TRAINING_H_
+
+#include <functional>
+#include <memory>
+
+#include "promptem/pseudo_labels.h"
+
+namespace promptem::em {
+
+/// Creates a fresh model (teacher or student) initialized from the
+/// pre-trained LM.
+using ModelFactory = std::function<std::unique_ptr<PairClassifier>()>;
+
+/// Lightweight Self-Training configuration (Algorithm 1 of §4).
+struct SelfTrainingConfig {
+  int iterations = 1;  ///< paper default
+  TrainOptions teacher_options;
+  TrainOptions student_options;
+  double pseudo_ratio = 0.10;  ///< u_r: fraction of D_U pseudo-labeled
+  double prune_ratio = 0.25;   ///< e_r: fraction of D_L pruned per pruning
+  int prune_every = 3;         ///< prune every this many student epochs
+  int mc_passes = 10;          ///< MC-Dropout passes (paper: 10)
+  bool use_pseudo_labels = true;  ///< LST switch (ablation w/o LST)
+  bool use_pruning = true;        ///< DDP switch (ablation w/o DDP)
+  PseudoLabelStrategy strategy = PseudoLabelStrategy::kUncertainty;
+  uint64_t seed = 23;
+};
+
+/// Observability for the benchmark tables.
+struct SelfTrainingStats {
+  TrainResult teacher_result;
+  Metrics student_best_valid;
+  PseudoLabelResult pseudo;      ///< last iteration's selection
+  int pruned_total = 0;          ///< samples removed by DDP
+  int64_t student_samples = 0;   ///< per-sample steps during student phase
+  double teacher_seconds = 0.0;
+  double student_seconds = 0.0;
+};
+
+/// Runs Algorithm 1 and returns the best student model (the teacher when
+/// use_pseudo_labels is false, in which case this reduces to plain
+/// supervised training).
+///
+/// `unlabeled` gold labels are only consulted for the pseudo-label quality
+/// stats; training reads pseudo-labels exclusively.
+std::unique_ptr<PairClassifier> RunSelfTraining(
+    const ModelFactory& factory, const std::vector<EncodedPair>& labeled,
+    const std::vector<EncodedPair>& unlabeled,
+    const std::vector<EncodedPair>& valid, const SelfTrainingConfig& config,
+    SelfTrainingStats* stats, const EmbeddingFn& embed = nullptr);
+
+}  // namespace promptem::em
+
+#endif  // PROMPTEM_PROMPTEM_SELF_TRAINING_H_

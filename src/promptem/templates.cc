@@ -1,0 +1,77 @@
+#include "promptem/templates.h"
+
+namespace promptem::em {
+
+using text::SpecialTokens;
+
+const char* TemplateTypeName(TemplateType type) {
+  return type == TemplateType::kT1 ? "T1" : "T2";
+}
+
+const char* TemplateModeName(TemplateMode mode) {
+  return mode == TemplateMode::kHard ? "hard" : "continuous";
+}
+
+namespace {
+
+TemplateSlot Token(int id) {
+  return {TemplateSlot::Kind::kToken, id, -1};
+}
+TemplateSlot Prompt(int index) {
+  return {TemplateSlot::Kind::kPrompt, -1, index};
+}
+TemplateSlot Mask() { return {TemplateSlot::Kind::kMask, -1, -1}; }
+TemplateSlot Left() { return {TemplateSlot::Kind::kLeftEntity, -1, -1}; }
+TemplateSlot Right() { return {TemplateSlot::Kind::kRightEntity, -1, -1}; }
+
+}  // namespace
+
+std::vector<TemplateSlot> BuildTemplate(TemplateType type, TemplateMode mode,
+                                        const text::Vocab& vocab) {
+  const bool hard = mode == TemplateMode::kHard;
+  std::vector<TemplateSlot> slots;
+  slots.push_back(Token(SpecialTokens::kCls));
+  if (type == TemplateType::kT1) {
+    // serialize(e) [SEP] serialize(e') [SEP] They are [MASK]
+    slots.push_back(Left());
+    slots.push_back(Token(SpecialTokens::kSep));
+    slots.push_back(Right());
+    slots.push_back(Token(SpecialTokens::kSep));
+    if (hard) {
+      slots.push_back(Token(vocab.ToId("they")));
+      slots.push_back(Token(vocab.ToId("are")));
+    } else {
+      slots.push_back(Prompt(0));
+      slots.push_back(Prompt(1));
+    }
+    slots.push_back(Mask());
+  } else {
+    // serialize(e) is [MASK] to serialize(e')
+    slots.push_back(Left());
+    if (hard) {
+      slots.push_back(Token(vocab.ToId("is")));
+    } else {
+      slots.push_back(Prompt(0));
+    }
+    slots.push_back(Mask());
+    if (hard) {
+      slots.push_back(Token(vocab.ToId("to")));
+    } else {
+      slots.push_back(Prompt(1));
+    }
+    slots.push_back(Right());
+    slots.push_back(Token(SpecialTokens::kSep));
+  }
+  return slots;
+}
+
+int NumPromptSlots(TemplateType type) {
+  (void)type;  // both templates carry two prompt words
+  return 2;
+}
+
+int TemplateOverhead(TemplateType type) {
+  return type == TemplateType::kT1 ? 6 : 5;
+}
+
+}  // namespace promptem::em

@@ -1,0 +1,52 @@
+#ifndef PROMPTEM_PROMPTEM_TEMPLATES_H_
+#define PROMPTEM_PROMPTEM_TEMPLATES_H_
+
+#include <string>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace promptem::em {
+
+/// The two GEM-specific prompt templates of §3.1:
+///   T1(x) = serialize(e) serialize(e') "They are [MASK]"
+///   T2(x) = serialize(e) "is [MASK] to" serialize(e')
+enum class TemplateType { kT1, kT2 };
+
+/// Hard-encoding templates use real vocabulary tokens for the prompt
+/// words; continuous templates (P-tuning, §3.1) replace them with
+/// trainable embeddings contextualized by a BiLSTM.
+enum class TemplateMode { kHard, kContinuous };
+
+const char* TemplateTypeName(TemplateType type);
+const char* TemplateModeName(TemplateMode mode);
+
+/// One slot of the assembled prompt input sequence.
+struct TemplateSlot {
+  enum class Kind {
+    kToken,        ///< a fixed vocabulary token (CLS/SEP or hard prompt word)
+    kLeftEntity,   ///< splice serialize(e) tokens here
+    kRightEntity,  ///< splice serialize(e') tokens here
+    kMask,         ///< the [MASK] position the verbalizer reads
+    kPrompt,       ///< continuous prompt token #prompt_index
+  };
+  Kind kind;
+  int token_id = -1;
+  int prompt_index = -1;
+};
+
+/// Builds the slot sequence for a template/mode. The continuous variants
+/// use the same positions as the hard words, replaced by kPrompt slots.
+std::vector<TemplateSlot> BuildTemplate(TemplateType type, TemplateMode mode,
+                                        const text::Vocab& vocab);
+
+/// Number of kPrompt slots in the continuous variant of `type`.
+int NumPromptSlots(TemplateType type);
+
+/// Number of non-entity slots (template overhead when budgeting entity
+/// tokens against the encoder's max sequence length).
+int TemplateOverhead(TemplateType type);
+
+}  // namespace promptem::em
+
+#endif  // PROMPTEM_PROMPTEM_TEMPLATES_H_

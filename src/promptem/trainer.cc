@@ -1,0 +1,114 @@
+#include "promptem/trainer.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "nn/optimizer.h"
+
+namespace promptem::em {
+
+std::vector<std::vector<float>> SnapshotParams(const nn::Module& module) {
+  std::vector<std::vector<float>> snapshot;
+  for (const auto& p : module.Parameters()) {
+    snapshot.emplace_back(p.data(), p.data() + p.numel());
+  }
+  return snapshot;
+}
+
+void RestoreParams(nn::Module* module,
+                   const std::vector<std::vector<float>>& snapshot) {
+  auto params = module->Parameters();
+  PROMPTEM_CHECK(params.size() == snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    PROMPTEM_CHECK(static_cast<size_t>(params[i].numel()) ==
+                   snapshot[i].size());
+    std::memcpy(params[i].data(), snapshot[i].data(),
+                snapshot[i].size() * sizeof(float));
+  }
+}
+
+std::vector<int> PredictLabels(PairClassifier* model,
+                               const std::vector<EncodedPair>& examples) {
+  model->AsModule()->SetTraining(false);
+  core::Rng unused(0);
+  std::vector<int> preds;
+  preds.reserve(examples.size());
+  for (const auto& x : examples) {
+    const auto probs = model->Probs(x, &unused);
+    preds.push_back(probs[1] >= 0.5f ? 1 : 0);
+  }
+  return preds;
+}
+
+Metrics Evaluate(PairClassifier* model,
+                 const std::vector<EncodedPair>& examples) {
+  std::vector<int> gold;
+  gold.reserve(examples.size());
+  for (const auto& x : examples) gold.push_back(x.label);
+  return ComputeMetrics(PredictLabels(model, examples), gold);
+}
+
+TrainResult TrainClassifier(PairClassifier* model,
+                            const std::vector<EncodedPair>& train,
+                            const std::vector<EncodedPair>& valid,
+                            const TrainOptions& options) {
+  PROMPTEM_CHECK(model != nullptr);
+  PROMPTEM_CHECK(!train.empty());
+  core::Rng rng(options.seed);
+
+  nn::Module* module = model->AsModule();
+  nn::AdamWConfig opt_config;
+  opt_config.lr = options.lr;
+  opt_config.weight_decay = options.weight_decay;
+  nn::AdamW optimizer(module->Parameters(), opt_config);
+
+  TrainResult result;
+  std::vector<std::vector<float>> best_snapshot;
+  double best_f1 = -1.0;
+
+  std::vector<size_t> order(train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    module->SetTraining(true);
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int in_batch = 0;
+    for (size_t idx : order) {
+      const EncodedPair& x = train[idx];
+      tensor::Tensor loss = model->Loss(x, x.label, &rng);
+      epoch_loss += loss.item();
+      loss.Backward();
+      ++result.samples_trained;
+      if (++in_batch == options.batch_size) {
+        optimizer.Step();
+        optimizer.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) {
+      optimizer.Step();
+      optimizer.ZeroGrad();
+    }
+    result.epoch_losses.push_back(
+        static_cast<float>(epoch_loss / static_cast<double>(train.size())));
+
+    if (options.select_best_on_valid && !valid.empty()) {
+      Metrics m = Evaluate(model, valid);
+      if (m.F1() > best_f1) {
+        best_f1 = m.F1();
+        best_snapshot = SnapshotParams(*module);
+        result.best_valid = m;
+        result.best_epoch = epoch;
+      }
+    }
+  }
+
+  if (!best_snapshot.empty()) {
+    RestoreParams(module, best_snapshot);
+  }
+  module->SetTraining(false);
+  return result;
+}
+
+}  // namespace promptem::em

@@ -1,0 +1,53 @@
+#include "promptem/uncertainty.h"
+
+#include <cmath>
+
+namespace promptem::em {
+
+McEstimate McDropoutEstimate(PairClassifier* model, const EncodedPair& x,
+                             int passes, core::Rng* rng) {
+  PROMPTEM_CHECK(passes >= 1);
+  nn::Module* module = model->AsModule();
+  const bool was_training = module->training();
+  module->SetTraining(true);  // keep dropout stochastic
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < passes; ++i) {
+    const float p = model->Probs(x, rng)[1];
+    sum += p;
+    sum_sq += static_cast<double>(p) * p;
+  }
+  module->SetTraining(was_training);
+
+  McEstimate est;
+  const double mean = sum / passes;
+  const double var = std::max(0.0, sum_sq / passes - mean * mean);
+  est.mean_pos_prob = static_cast<float>(mean);
+  est.uncertainty = static_cast<float>(std::sqrt(var));
+  est.pseudo_label = mean >= 0.5 ? 1 : 0;
+  est.confidence = static_cast<float>(std::max(mean, 1.0 - mean));
+  return est;
+}
+
+float McEl2nScore(PairClassifier* model, const EncodedPair& x, int label,
+                  int passes, core::Rng* rng) {
+  PROMPTEM_CHECK(passes >= 1);
+  PROMPTEM_CHECK(label == 0 || label == 1);
+  nn::Module* module = model->AsModule();
+  const bool was_training = module->training();
+  module->SetTraining(true);
+
+  double total = 0.0;
+  for (int i = 0; i < passes; ++i) {
+    const auto probs = model->Probs(x, rng);
+    const float d0 = probs[0] - (label == 0 ? 1.0f : 0.0f);
+    const float d1 = probs[1] - (label == 1 ? 1.0f : 0.0f);
+    total += std::sqrt(static_cast<double>(d0) * d0 +
+                       static_cast<double>(d1) * d1);
+  }
+  module->SetTraining(was_training);
+  return static_cast<float>(total / passes);
+}
+
+}  // namespace promptem::em

@@ -1,0 +1,30 @@
+#ifndef PROMPTEM_PROMPTEM_UNCERTAINTY_H_
+#define PROMPTEM_PROMPTEM_UNCERTAINTY_H_
+
+#include "promptem/trainer.h"
+
+namespace promptem::em {
+
+/// MC-Dropout estimate for one sample (§4.2): statistics of P(yes) across
+/// `passes` stochastic forward passes with dropout active.
+struct McEstimate {
+  float mean_pos_prob = 0.0f;
+  float uncertainty = 0.0f;  ///< std of P(yes) across passes
+  int pseudo_label = 0;      ///< 1 when mean_pos_prob >= 0.5
+  float confidence = 0.0f;   ///< max(mean p, 1 - mean p)
+};
+
+/// Runs `passes` stochastic passes (temporarily forcing training mode so
+/// dropout stays active) and returns mean/std statistics. The model's
+/// train/eval mode is restored afterwards.
+McEstimate McDropoutEstimate(PairClassifier* model, const EncodedPair& x,
+                             int passes, core::Rng* rng);
+
+/// MC-EL2N (§4.3): mean over stochastic passes of || p(x) - onehot(y) ||_2.
+/// Low scores mark easy/useless training samples, pruned by DDP.
+float McEl2nScore(PairClassifier* model, const EncodedPair& x, int label,
+                  int passes, core::Rng* rng);
+
+}  // namespace promptem::em
+
+#endif  // PROMPTEM_PROMPTEM_UNCERTAINTY_H_

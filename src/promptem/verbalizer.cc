@@ -1,0 +1,76 @@
+#include "promptem/verbalizer.h"
+
+#include <cmath>
+
+#include "tensor/autograd.h"
+#include "tensor/kernels.h"
+
+namespace promptem::em {
+
+namespace ops = tensor::ops;
+
+const char* LabelWordsTypeName(LabelWordsType type) {
+  return type == LabelWordsType::kDesigned ? "designed" : "simple";
+}
+
+Verbalizer::Verbalizer(const text::Vocab& vocab, LabelWordsType type) {
+  std::vector<std::string> yes_words;
+  std::vector<std::string> no_words;
+  if (type == LabelWordsType::kDesigned) {
+    yes_words = {"matched", "similar", "relevant"};
+    no_words = {"mismatched", "different", "irrelevant"};
+  } else {
+    yes_words = {"matched"};
+    no_words = {"mismatched"};
+  }
+  for (const auto& w : yes_words) {
+    PROMPTEM_CHECK_MSG(vocab.Contains(w), "label word missing from vocab");
+    yes_ids_.push_back(vocab.ToId(w));
+  }
+  for (const auto& w : no_words) {
+    PROMPTEM_CHECK_MSG(vocab.Contains(w), "label word missing from vocab");
+    no_ids_.push_back(vocab.ToId(w));
+  }
+  // Constant projection matrix applying Eq. 1 as a single matmul, keeping
+  // the class-score computation on the autodiff path.
+  projection_ = tensor::Tensor::Zeros({vocab.size(), 2});
+  for (int id : no_ids_) {
+    projection_.set(id, 0, 1.0f / static_cast<float>(no_ids_.size()));
+  }
+  for (int id : yes_ids_) {
+    projection_.set(id, 1, 1.0f / static_cast<float>(yes_ids_.size()));
+  }
+}
+
+const std::vector<int>& Verbalizer::WordIds(int label) const {
+  PROMPTEM_CHECK(label == 0 || label == 1);
+  return label == 1 ? yes_ids_ : no_ids_;
+}
+
+tensor::Tensor Verbalizer::ClassProbs(
+    const tensor::Tensor& mask_logits) const {
+  PROMPTEM_CHECK(mask_logits.ndim() == 2 && mask_logits.dim(0) == 1);
+  tensor::Tensor probs = ops::Softmax(mask_logits);
+  return ops::MatMul(probs, projection_);
+}
+
+tensor::Tensor Verbalizer::Loss(const tensor::Tensor& mask_logits,
+                                int label) const {
+  PROMPTEM_CHECK(label == 0 || label == 1);
+  tensor::Tensor class_probs = ClassProbs(mask_logits);  // [1, 2]
+  tensor::Tensor p_y = ops::SelectCols(class_probs, {label});
+  return ops::Scale(ops::Sum(ops::Log(p_y)), -1.0f);
+}
+
+std::array<float, 2> Verbalizer::PredictProbs(
+    const tensor::Tensor& mask_logits) const {
+  tensor::NoGradGuard no_grad;
+  tensor::Tensor class_probs = ClassProbs(mask_logits);
+  float p_no = class_probs.at(0, 0);
+  float p_yes = class_probs.at(0, 1);
+  const float total = p_no + p_yes;
+  if (total <= 0.0f) return {0.5f, 0.5f};
+  return {p_no / total, p_yes / total};
+}
+
+}  // namespace promptem::em

@@ -1,0 +1,51 @@
+#ifndef PROMPTEM_PROMPTEM_VERBALIZER_H_
+#define PROMPTEM_PROMPTEM_VERBALIZER_H_
+
+#include <array>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "text/vocab.h"
+
+namespace promptem::em {
+
+/// Label-word sets (§3.1). The designed set captures the *general binary
+/// relationship* GEM needs (relevance, not just identity); the simple set
+/// is the ablation baseline of Appendix B.
+enum class LabelWordsType {
+  kDesigned,  ///< yes -> {matched, similar, relevant};
+              ///< no -> {mismatched, different, irrelevant}
+  kSimple,    ///< yes -> {matched}; no -> {mismatched}
+};
+
+const char* LabelWordsTypeName(LabelWordsType type);
+
+/// Maps MLM logits at the [MASK] position to class probabilities by Eq. 1:
+/// P(y|x) = (1/m) * sum_j P([MASK] = w_j | T(x)).
+class Verbalizer {
+ public:
+  Verbalizer(const text::Vocab& vocab, LabelWordsType type);
+
+  /// Label-word ids for class y (0 = no, 1 = yes).
+  const std::vector<int>& WordIds(int label) const;
+
+  /// Differentiable class scores: mask_logits [1, V] -> [1, 2]
+  /// (column 0 = P(no), column 1 = P(yes), each the mean of its label
+  /// words' probabilities; columns need not sum to 1).
+  tensor::Tensor ClassProbs(const tensor::Tensor& mask_logits) const;
+
+  /// Prompt-tuning loss: -log P(y | x) with P from Eq. 1.
+  tensor::Tensor Loss(const tensor::Tensor& mask_logits, int label) const;
+
+  /// Fast non-differentiable scores normalized to sum 1 (inference).
+  std::array<float, 2> PredictProbs(const tensor::Tensor& mask_logits) const;
+
+ private:
+  std::vector<int> no_ids_;
+  std::vector<int> yes_ids_;
+  tensor::Tensor projection_;  ///< [V, 2] constant: 1/m at label-word rows
+};
+
+}  // namespace promptem::em
+
+#endif  // PROMPTEM_PROMPTEM_VERBALIZER_H_

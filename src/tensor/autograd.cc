@@ -1,0 +1,70 @@
+#include "tensor/autograd.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace promptem::tensor {
+
+namespace {
+bool g_grad_enabled = true;
+}  // namespace
+
+bool GradEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+void RunBackward(const Tensor& root) {
+  PROMPTEM_CHECK(root.defined());
+  PROMPTEM_CHECK(root.numel() == 1);
+
+  // Iterative post-order topological sort (graphs from long LSTM unrolls
+  // can be deep enough to overflow the stack with recursion). The order
+  // holds shared_ptrs: releasing a visited node's parent links must not
+  // free impls that still await their own backward step.
+  std::vector<std::shared_ptr<TensorImpl>> topo;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    std::shared_ptr<TensorImpl> node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  TensorImpl* root_impl = root.impl().get();
+  if (visited.insert(root_impl).second) {
+    stack.push_back({root.impl(), 0});
+  }
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_parent < f.node->parents.size()) {
+      const std::shared_ptr<TensorImpl>& parent =
+          f.node->parents[f.next_parent++];
+      if (visited.insert(parent.get()).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      topo.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed d(root)/d(root) = 1.
+  root_impl->EnsureGrad();
+  root_impl->grad->data()[0] += 1.0f;
+
+  // topo is post-order: parents before children; walk children-first.
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    TensorImpl* node = it->get();
+    if (node->backward_fn) {
+      node->backward_fn();
+      // Release the closure (and the intermediate buffers it captured) as
+      // soon as it has run; keeps peak memory at one live graph.
+      node->backward_fn = nullptr;
+      node->parents.clear();
+    }
+  }
+}
+
+}  // namespace promptem::tensor

@@ -1,0 +1,35 @@
+#ifndef PROMPTEM_TENSOR_AUTOGRAD_H_
+#define PROMPTEM_TENSOR_AUTOGRAD_H_
+
+#include "tensor/tensor.h"
+
+namespace promptem::tensor {
+
+/// Runs reverse-mode differentiation from `root`, which must be a scalar
+/// (numel == 1). Seeds root.grad = 1, visits the graph in reverse
+/// topological order, and calls each node's backward closure exactly once.
+/// Gradients accumulate (+=) into every tensor with requires_grad on the
+/// path, so calling Backward for several per-sample losses before an
+/// optimizer step sums their gradients — this is how minibatches are formed.
+void RunBackward(const Tensor& root);
+
+/// True while a NoGradGuard is alive; ops skip building graph edges.
+bool GradEnabled();
+
+/// RAII scope that disables graph construction (inference / MC-Dropout
+/// scoring passes), cutting memory and time.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace promptem::tensor
+
+#endif  // PROMPTEM_TENSOR_AUTOGRAD_H_

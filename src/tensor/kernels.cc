@@ -1,0 +1,185 @@
+#include "tensor/kernels.h"
+
+#include <cmath>
+#include <algorithm>
+
+namespace promptem::tensor::kernels {
+
+void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+          const float* a, const float* b, float beta, float* c) {
+  // Scale or clear C first.
+  const int64_t total = static_cast<int64_t>(m) * n;
+  if (beta == 0.0f) {
+    std::fill_n(c, total, 0.0f);
+  } else if (beta != 1.0f) {
+    for (int64_t i = 0; i < total; ++i) c[i] *= beta;
+  }
+  // Element accessors respecting storage layout.
+  // a_elem(i, p) = op(A)[i, p]; b_elem(p, j) = op(B)[p, j].
+  auto a_idx = [&](int i, int p) -> int64_t {
+    return trans_a ? static_cast<int64_t>(p) * m + i
+                   : static_cast<int64_t>(i) * k + p;
+  };
+  auto b_idx = [&](int p, int j) -> int64_t {
+    return trans_b ? static_cast<int64_t>(j) * k + p
+                   : static_cast<int64_t>(p) * n + j;
+  };
+  if (!trans_a && !trans_b) {
+    // i-k-j loop order: unit-stride access of B and C inner loops.
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<int64_t>(i) * k;
+      float* crow = c + static_cast<int64_t>(i) * n;
+      for (int p = 0; p < k; ++p) {
+        const float av = alpha * arow[p];
+        if (av == 0.0f) continue;
+        const float* brow = b + static_cast<int64_t>(p) * n;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+    return;
+  }
+  if (!trans_a && trans_b) {
+    // C[i,j] = sum_p A[i,p] * B[j,p]: both unit stride (dot products).
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<int64_t>(i) * k;
+      float* crow = c + static_cast<int64_t>(i) * n;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b + static_cast<int64_t>(j) * k;
+        float acc = 0.0f;
+        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+        crow[j] += alpha * acc;
+      }
+    }
+    return;
+  }
+  // Remaining transpose combinations: generic indexed loop (used on the
+  // backward paths; matrices are small).
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float av = alpha * a[a_idx(i, p)];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<int64_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * b[b_idx(p, j)];
+    }
+  }
+}
+
+void SoftmaxRows(const float* x, int rows, int cols, float* out) {
+  for (int i = 0; i < rows; ++i) {
+    const float* xi = x + static_cast<int64_t>(i) * cols;
+    float* oi = out + static_cast<int64_t>(i) * cols;
+    float mx = xi[0];
+    for (int j = 1; j < cols; ++j) mx = std::max(mx, xi[j]);
+    float sum = 0.0f;
+    for (int j = 0; j < cols; ++j) {
+      oi[j] = std::exp(xi[j] - mx);
+      sum += oi[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int j = 0; j < cols; ++j) oi[j] *= inv;
+  }
+}
+
+void LogSoftmaxRows(const float* x, int rows, int cols, float* out) {
+  for (int i = 0; i < rows; ++i) {
+    const float* xi = x + static_cast<int64_t>(i) * cols;
+    float* oi = out + static_cast<int64_t>(i) * cols;
+    float mx = xi[0];
+    for (int j = 1; j < cols; ++j) mx = std::max(mx, xi[j]);
+    float sum = 0.0f;
+    for (int j = 0; j < cols; ++j) sum += std::exp(xi[j] - mx);
+    const float lse = mx + std::log(sum);
+    for (int j = 0; j < cols; ++j) oi[j] = xi[j] - lse;
+  }
+}
+
+void LayerNormForward(const float* x, int rows, int cols, const float* gamma,
+                      const float* beta, float eps, float* out, float* mean,
+                      float* rstd) {
+  for (int i = 0; i < rows; ++i) {
+    const float* xi = x + static_cast<int64_t>(i) * cols;
+    float* oi = out + static_cast<int64_t>(i) * cols;
+    float mu = 0.0f;
+    for (int j = 0; j < cols; ++j) mu += xi[j];
+    mu /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (int j = 0; j < cols; ++j) {
+      const float d = xi[j] - mu;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    const float rs = 1.0f / std::sqrt(var + eps);
+    mean[i] = mu;
+    rstd[i] = rs;
+    for (int j = 0; j < cols; ++j) {
+      oi[j] = gamma[j] * (xi[j] - mu) * rs + beta[j];
+    }
+  }
+}
+
+void LayerNormBackward(const float* x, const float* gamma, const float* mean,
+                       const float* rstd, const float* dout, int rows,
+                       int cols, float* dx, float* dgamma, float* dbeta) {
+  for (int i = 0; i < rows; ++i) {
+    const float* xi = x + static_cast<int64_t>(i) * cols;
+    const float* doi = dout + static_cast<int64_t>(i) * cols;
+    float* dxi = dx + static_cast<int64_t>(i) * cols;
+    const float mu = mean[i];
+    const float rs = rstd[i];
+    // dL/dxhat_j = dout_j * gamma_j; with xhat = (x - mu) * rs:
+    // dx = rs * (dxhat - mean(dxhat) - xhat * mean(dxhat * xhat)).
+    float sum_dxhat = 0.0f;
+    float sum_dxhat_xhat = 0.0f;
+    for (int j = 0; j < cols; ++j) {
+      const float xhat = (xi[j] - mu) * rs;
+      const float dxhat = doi[j] * gamma[j];
+      sum_dxhat += dxhat;
+      sum_dxhat_xhat += dxhat * xhat;
+      dgamma[j] += doi[j] * xhat;
+      dbeta[j] += doi[j];
+    }
+    const float inv_cols = 1.0f / static_cast<float>(cols);
+    for (int j = 0; j < cols; ++j) {
+      const float xhat = (xi[j] - mu) * rs;
+      const float dxhat = doi[j] * gamma[j];
+      dxi[j] += rs * (dxhat - inv_cols * sum_dxhat -
+                      xhat * inv_cols * sum_dxhat_xhat);
+    }
+  }
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+}  // namespace
+
+float Gelu(float x) {
+  const float inner = kGeluC * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float GeluGrad(float x) {
+  const float x3 = x * x * x;
+  const float inner = kGeluC * (x + 0.044715f * x3);
+  const float t = std::tanh(inner);
+  const float sech2 = 1.0f - t * t;
+  return 0.5f * (1.0f + t) +
+         0.5f * x * sech2 * kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+}
+
+void AxpyOne(const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+float Dot(const float* a, const float* b, int64_t n) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+float L2Norm(const float* x, int64_t n) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += x[i] * x[i];
+  return std::sqrt(acc);
+}
+
+}  // namespace promptem::tensor::kernels

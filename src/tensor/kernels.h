@@ -1,0 +1,50 @@
+#ifndef PROMPTEM_TENSOR_KERNELS_H_
+#define PROMPTEM_TENSOR_KERNELS_H_
+
+#include <cstdint>
+
+namespace promptem::tensor::kernels {
+
+/// General matrix multiply: C = alpha * op(A) * op(B) + beta * C, where
+/// op is optional transposition. op(A) is m x k, op(B) is k x n, C is m x n.
+/// A and B are row-major with their *stored* (pre-transpose) layouts:
+/// A is (m x k) when !trans_a, else (k x m); likewise for B.
+/// Single-threaded, cache-blocked on the k loop.
+void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+          const float* a, const float* b, float beta, float* c);
+
+/// Row-wise softmax with max subtraction: out[i,:] = softmax(x[i,:]).
+/// x and out may alias.
+void SoftmaxRows(const float* x, int rows, int cols, float* out);
+
+/// Row-wise log-softmax. x and out may alias.
+void LogSoftmaxRows(const float* x, int rows, int cols, float* out);
+
+/// Layer normalization over the last dimension.
+/// For each row i: out = gamma * (x - mean_i) / sqrt(var_i + eps) + beta.
+/// Saves per-row mean and reciprocal std for the backward pass.
+void LayerNormForward(const float* x, int rows, int cols, const float* gamma,
+                      const float* beta, float eps, float* out, float* mean,
+                      float* rstd);
+
+/// Backward of LayerNormForward. Accumulates (+=) into dx, dgamma, dbeta.
+void LayerNormBackward(const float* x, const float* gamma, const float* mean,
+                       const float* rstd, const float* dout, int rows,
+                       int cols, float* dx, float* dgamma, float* dbeta);
+
+/// Tanh-approximation GELU and its derivative.
+float Gelu(float x);
+float GeluGrad(float x);
+
+/// y += x for n elements.
+void AxpyOne(const float* x, float* y, int64_t n);
+
+/// Dot product of two length-n vectors.
+float Dot(const float* a, const float* b, int64_t n);
+
+/// Euclidean (L2) norm of a length-n vector.
+float L2Norm(const float* x, int64_t n);
+
+}  // namespace promptem::tensor::kernels
+
+#endif  // PROMPTEM_TENSOR_KERNELS_H_

@@ -1,0 +1,703 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <cstring>
+#include <algorithm>
+
+#include "tensor/autograd.h"
+#include "tensor/kernels.h"
+
+namespace promptem::tensor::ops {
+
+namespace {
+
+using kernels::Gemm;
+
+bool Track(const Tensor& a) { return GradEnabled() && a.requires_grad(); }
+bool Track(const Tensor& a, const Tensor& b) {
+  return GradEnabled() && (a.requires_grad() || b.requires_grad());
+}
+
+/// Attaches parents and a backward closure to `out`.
+void Attach(Tensor* out, std::vector<Tensor> parents,
+            std::function<void()> backward) {
+  TensorImpl* impl = out->impl().get();
+  impl->requires_grad = true;
+  impl->parents.reserve(parents.size());
+  for (const Tensor& p : parents) impl->parents.push_back(p.impl());
+  impl->backward_fn = std::move(backward);
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  PROMPTEM_CHECK(SameShape(a.shape(), b.shape()));
+  Tensor out = Tensor::Zeros(a.shape());
+  const int64_t n = a.numel();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+  if (Track(a, b)) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    TensorImpl* oi = out.impl().get();
+    Attach(&out, {a, b}, [ai, bi, oi, n]() {
+      const float* g = oi->grad->data();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        kernels::AxpyOne(g, ai->grad->data(), n);
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        kernels::AxpyOne(g, bi->grad->data(), n);
+      }
+    });
+  }
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  PROMPTEM_CHECK(SameShape(a.shape(), b.shape()));
+  Tensor out = Tensor::Zeros(a.shape());
+  const int64_t n = a.numel();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] - pb[i];
+  if (Track(a, b)) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    TensorImpl* oi = out.impl().get();
+    Attach(&out, {a, b}, [ai, bi, oi, n]() {
+      const float* g = oi->grad->data();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        kernels::AxpyOne(g, ai->grad->data(), n);
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        float* gb = bi->grad->data();
+        for (int64_t i = 0; i < n; ++i) gb[i] -= g[i];
+      }
+    });
+  }
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  PROMPTEM_CHECK(SameShape(a.shape(), b.shape()));
+  Tensor out = Tensor::Zeros(a.shape());
+  const int64_t n = a.numel();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] * pb[i];
+  if (Track(a, b)) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    TensorImpl* oi = out.impl().get();
+    Attach(&out, {a, b}, [ai, bi, oi, n]() {
+      const float* g = oi->grad->data();
+      const float* pa2 = ai->storage->data();
+      const float* pb2 = bi->storage->data();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        float* ga = ai->grad->data();
+        for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * pb2[i];
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        float* gb = bi->grad->data();
+        for (int64_t i = 0; i < n; ++i) gb[i] += g[i] * pa2[i];
+      }
+    });
+  }
+  return out;
+}
+
+Tensor AddBias(const Tensor& x, const Tensor& bias) {
+  PROMPTEM_CHECK(x.ndim() == 2 && bias.ndim() == 1);
+  PROMPTEM_CHECK(x.dim(1) == bias.dim(0));
+  const int rows = x.dim(0);
+  const int cols = x.dim(1);
+  Tensor out = Tensor::Zeros(x.shape());
+  const float* px = x.data();
+  const float* pb = bias.data();
+  float* po = out.data();
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      po[static_cast<int64_t>(i) * cols + j] =
+          px[static_cast<int64_t>(i) * cols + j] + pb[j];
+    }
+  }
+  if (Track(x, bias)) {
+    auto xi = x.impl();
+    auto bi = bias.impl();
+    TensorImpl* oi = out.impl().get();
+    Attach(&out, {x, bias}, [xi, bi, oi, rows, cols]() {
+      const float* g = oi->grad->data();
+      if (xi->requires_grad) {
+        xi->EnsureGrad();
+        kernels::AxpyOne(g, xi->grad->data(),
+                         static_cast<int64_t>(rows) * cols);
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        float* gb = bi->grad->data();
+        for (int i = 0; i < rows; ++i) {
+          for (int j = 0; j < cols; ++j) {
+            gb[j] += g[static_cast<int64_t>(i) * cols + j];
+          }
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor out = Tensor::Zeros(a.shape());
+  const int64_t n = a.numel();
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] * s;
+  if (Track(a)) {
+    auto ai = a.impl();
+    TensorImpl* oi = out.impl().get();
+    Attach(&out, {a}, [ai, oi, n, s]() {
+      ai->EnsureGrad();
+      const float* g = oi->grad->data();
+      float* ga = ai->grad->data();
+      for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * s;
+    });
+  }
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  Tensor out = Tensor::Zeros(a.shape());
+  const int64_t n = a.numel();
+  const float* pa = a.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = pa[i] + s;
+  if (Track(a)) {
+    auto ai = a.impl();
+    TensorImpl* oi = out.impl().get();
+    Attach(&out, {a}, [ai, oi, n]() {
+      ai->EnsureGrad();
+      kernels::AxpyOne(oi->grad->data(), ai->grad->data(), n);
+    });
+  }
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  PROMPTEM_CHECK(a.ndim() == 2 && b.ndim() == 2);
+  const int m = trans_a ? a.dim(1) : a.dim(0);
+  const int k = trans_a ? a.dim(0) : a.dim(1);
+  const int kb = trans_b ? b.dim(1) : b.dim(0);
+  const int n = trans_b ? b.dim(0) : b.dim(1);
+  PROMPTEM_CHECK_MSG(k == kb, "matmul inner dimensions differ");
+  Tensor out = Tensor::Zeros({m, n});
+  Gemm(trans_a, trans_b, m, n, k, 1.0f, a.data(), b.data(), 0.0f, out.data());
+  if (Track(a, b)) {
+    auto ai = a.impl();
+    auto bi = b.impl();
+    TensorImpl* oi = out.impl().get();
+    Attach(&out, {a, b}, [ai, bi, oi, m, n, k, trans_a, trans_b]() {
+      const float* g = oi->grad->data();
+      const float* pa = ai->storage->data();
+      const float* pb = bi->storage->data();
+      if (ai->requires_grad) {
+        ai->EnsureGrad();
+        float* ga = ai->grad->data();
+        if (!trans_a) {
+          // dA[m,k] = dC @ op(B)^T
+          Gemm(false, !trans_b, m, k, n, 1.0f, g, pb, 1.0f, ga);
+        } else {
+          // A stored [k,m]; dA_stored = op(B) @ dC^T
+          Gemm(trans_b, true, k, m, n, 1.0f, pb, g, 1.0f, ga);
+        }
+      }
+      if (bi->requires_grad) {
+        bi->EnsureGrad();
+        float* gb = bi->grad->data();
+        if (!trans_b) {
+          // dB[k,n] = op(A)^T @ dC
+          Gemm(!trans_a, false, k, n, m, 1.0f, pa, g, 1.0f, gb);
+        } else {
+          // B stored [n,k]; dB_stored = dC^T @ op(A)
+          Gemm(true, trans_a, n, k, m, 1.0f, g, pa, 1.0f, gb);
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Tensor Softmax(const Tensor& x) {
+  PROMPTEM_CHECK(x.ndim() == 2);
+  const int rows = x.dim(0);
+  const int cols = x.dim(1);
+  Tensor out = Tensor::Zeros(x.shape());
+  kernels::SoftmaxRows(x.data(), rows, cols, out.data());
+  if (Track(x)) {
+    auto xi = x.impl();
+    TensorImpl* oi = out.impl().get();
+    Attach(&out, {x}, [xi, oi, rows, cols]() {
+      xi->EnsureGrad();
+      const float* g = oi->grad->data();
+      const float* y = oi->storage->data();
+      float* gx = xi->grad->data();
+      for (int i = 0; i < rows; ++i) {
+        const float* yi = y + static_cast<int64_t>(i) * cols;
+        const float* gi = g + static_cast<int64_t>(i) * cols;
+        float dot = 0.0f;
+        for (int j = 0; j < cols; ++j) dot += gi[j] * yi[j];
+        float* gxi = gx + static_cast<int64_t>(i) * cols;
+        for (int j = 0; j < cols; ++j) gxi[j] += yi[j] * (gi[j] - dot);
+      }
+    });
+  }
+  return out;
+}
+
+Tensor LogSoftmax(const Tensor& x) {
+  PROMPTEM_CHECK(x.ndim() == 2);
+  const int rows = x.dim(0);
+  const int cols = x.dim(1);
+  Tensor out = Tensor::Zeros(x.shape());
+  kernels::LogSoftmaxRows(x.data(), rows, cols, out.data());
+  if (Track(x)) {
+    auto xi = x.impl();
+    TensorImpl* oi = out.impl().get();
+    Attach(&out, {x}, [xi, oi, rows, cols]() {
+      xi->EnsureGrad();
+      const float* g = oi->grad->data();
+      const float* logy = oi->storage->data();
+      float* gx = xi->grad->data();
+      for (int i = 0; i < rows; ++i) {
+        const float* gi = g + static_cast<int64_t>(i) * cols;
+        const float* lyi = logy + static_cast<int64_t>(i) * cols;
+        float sum = 0.0f;
+        for (int j = 0; j < cols; ++j) sum += gi[j];
+        float* gxi = gx + static_cast<int64_t>(i) * cols;
+        for (int j = 0; j < cols; ++j) {
+          gxi[j] += gi[j] - std::exp(lyi[j]) * sum;
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps) {
+  PROMPTEM_CHECK(x.ndim() == 2 && gamma.ndim() == 1 && beta.ndim() == 1);
+  PROMPTEM_CHECK(x.dim(1) == gamma.dim(0) && x.dim(1) == beta.dim(0));
+  const int rows = x.dim(0);
+  const int cols = x.dim(1);
+  Tensor out = Tensor::Zeros(x.shape());
+  auto mean = std::make_shared<std::vector<float>>(rows);
+  auto rstd = std::make_shared<std::vector<float>>(rows);
+  kernels::LayerNormForward(x.data(), rows, cols, gamma.data(), beta.data(),
+                            eps, out.data(), mean->data(), rstd->data());
+  if (GradEnabled() && (x.requires_grad() || gamma.requires_grad() ||
+                        beta.requires_grad())) {
+    auto xi = x.impl();
+    auto gi = gamma.impl();
+    auto bi = beta.impl();
+    TensorImpl* oi = out.impl().get();
+    Attach(&out, {x, gamma, beta}, [xi, gi, bi, oi, rows, cols, mean,
+                                    rstd]() {
+      xi->EnsureGrad();
+      gi->EnsureGrad();
+      bi->EnsureGrad();
+      kernels::LayerNormBackward(xi->storage->data(), gi->storage->data(),
+                                 mean->data(), rstd->data(),
+                                 oi->grad->data(), rows, cols,
+                                 xi->grad->data(), gi->grad->data(),
+                                 bi->grad->data());
+    });
+  }
+  return out;
+}
+
+namespace {
+
+template <typename Fwd, typename Bwd>
+Tensor UnaryOp(const Tensor& x, Fwd fwd, Bwd bwd_from_input_and_output) {
+  Tensor out = Tensor::Zeros(x.shape());
+  const int64_t n = x.numel();
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = fwd(px[i]);
+  if (Track(x)) {
+    auto xi = x.impl();
+    TensorImpl* oi = out.impl().get();
+    Attach(&out, {x}, [xi, oi, n, bwd_from_input_and_output]() {
+      xi->EnsureGrad();
+      const float* g = oi->grad->data();
+      const float* in = xi->storage->data();
+      const float* outv = oi->storage->data();
+      float* gx = xi->grad->data();
+      for (int64_t i = 0; i < n; ++i) {
+        gx[i] += g[i] * bwd_from_input_and_output(in[i], outv[i]);
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Gelu(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return kernels::Gelu(v); },
+      [](float in, float) { return kernels::GeluGrad(in); });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return std::tanh(v); },
+      [](float, float out) { return 1.0f - out * out; });
+}
+
+Tensor Sigmoid(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return 1.0f / (1.0f + std::exp(-v)); },
+      [](float, float out) { return out * (1.0f - out); });
+}
+
+Tensor Relu(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float in, float) { return in > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Abs(const Tensor& x) {
+  return UnaryOp(
+      x, [](float v) { return std::fabs(v); },
+      [](float in, float) { return in >= 0.0f ? 1.0f : -1.0f; });
+}
+
+Tensor Log(const Tensor& x) {
+  return UnaryOp(
+      x,
+      [](float v) { return std::log(std::max(v, 1e-12f)); },
+      [](float in, float) { return 1.0f / std::max(in, 1e-12f); });
+}
+
+Tensor Dropout(const Tensor& x, float p, core::Rng* rng) {
+  PROMPTEM_CHECK(p >= 0.0f && p < 1.0f);
+  if (p == 0.0f) return x;
+  PROMPTEM_CHECK(rng != nullptr);
+  const int64_t n = x.numel();
+  auto mask = std::make_shared<std::vector<float>>(n);
+  const float keep_scale = 1.0f / (1.0f - p);
+  for (int64_t i = 0; i < n; ++i) {
+    (*mask)[i] = rng->Bernoulli(p) ? 0.0f : keep_scale;
+  }
+  Tensor out = Tensor::Zeros(x.shape());
+  const float* px = x.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < n; ++i) po[i] = px[i] * (*mask)[i];
+  if (Track(x)) {
+    auto xi = x.impl();
+    TensorImpl* oi = out.impl().get();
+    Attach(&out, {x}, [xi, oi, n, mask]() {
+      xi->EnsureGrad();
+      const float* g = oi->grad->data();
+      float* gx = xi->grad->data();
+      for (int64_t i = 0; i < n; ++i) gx[i] += g[i] * (*mask)[i];
+    });
+  }
+  return out;
+}
+
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
+  PROMPTEM_CHECK(table.ndim() == 2);
+  const int vocab = table.dim(0);
+  const int dim = table.dim(1);
+  const int t = static_cast<int>(ids.size());
+  Tensor out = Tensor::Zeros({t, dim});
+  const float* pt = table.data();
+  float* po = out.data();
+  for (int i = 0; i < t; ++i) {
+    PROMPTEM_CHECK(ids[i] >= 0 && ids[i] < vocab);
+    std::memcpy(po + static_cast<int64_t>(i) * dim,
+                pt + static_cast<int64_t>(ids[i]) * dim,
+                sizeof(float) * dim);
+  }
+  if (Track(table)) {
+    auto ti = table.impl();
+    TensorImpl* oi = out.impl().get();
+    auto ids_copy = std::make_shared<std::vector<int>>(ids);
+    Attach(&out, {table}, [ti, oi, dim, ids_copy]() {
+      ti->EnsureGrad();
+      const float* g = oi->grad->data();
+      float* gt = ti->grad->data();
+      for (size_t i = 0; i < ids_copy->size(); ++i) {
+        kernels::AxpyOne(g + static_cast<int64_t>(i) * dim,
+                         gt + static_cast<int64_t>((*ids_copy)[i]) * dim,
+                         dim);
+      }
+    });
+  }
+  return out;
+}
+
+Tensor SelectRows(const Tensor& x, const std::vector<int>& rows) {
+  PROMPTEM_CHECK(x.ndim() == 2);
+  const int cols = x.dim(1);
+  const int k = static_cast<int>(rows.size());
+  Tensor out = Tensor::Zeros({k, cols});
+  const float* px = x.data();
+  float* po = out.data();
+  for (int i = 0; i < k; ++i) {
+    PROMPTEM_CHECK(rows[i] >= 0 && rows[i] < x.dim(0));
+    std::memcpy(po + static_cast<int64_t>(i) * cols,
+                px + static_cast<int64_t>(rows[i]) * cols,
+                sizeof(float) * cols);
+  }
+  if (Track(x)) {
+    auto xi = x.impl();
+    TensorImpl* oi = out.impl().get();
+    auto rows_copy = std::make_shared<std::vector<int>>(rows);
+    Attach(&out, {x}, [xi, oi, cols, rows_copy]() {
+      xi->EnsureGrad();
+      const float* g = oi->grad->data();
+      float* gx = xi->grad->data();
+      for (size_t i = 0; i < rows_copy->size(); ++i) {
+        kernels::AxpyOne(g + static_cast<int64_t>(i) * cols,
+                         gx + static_cast<int64_t>((*rows_copy)[i]) * cols,
+                         cols);
+      }
+    });
+  }
+  return out;
+}
+
+Tensor SelectCols(const Tensor& x, const std::vector<int>& cols) {
+  PROMPTEM_CHECK(x.ndim() == 2);
+  const int rows = x.dim(0);
+  const int in_cols = x.dim(1);
+  const int k = static_cast<int>(cols.size());
+  Tensor out = Tensor::Zeros({rows, k});
+  const float* px = x.data();
+  float* po = out.data();
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < k; ++j) {
+      PROMPTEM_CHECK(cols[j] >= 0 && cols[j] < in_cols);
+      po[static_cast<int64_t>(i) * k + j] =
+          px[static_cast<int64_t>(i) * in_cols + cols[j]];
+    }
+  }
+  if (Track(x)) {
+    auto xi = x.impl();
+    TensorImpl* oi = out.impl().get();
+    auto cols_copy = std::make_shared<std::vector<int>>(cols);
+    Attach(&out, {x}, [xi, oi, rows, in_cols, k, cols_copy]() {
+      xi->EnsureGrad();
+      const float* g = oi->grad->data();
+      float* gx = xi->grad->data();
+      for (int i = 0; i < rows; ++i) {
+        for (int j = 0; j < k; ++j) {
+          gx[static_cast<int64_t>(i) * in_cols + (*cols_copy)[j]] +=
+              g[static_cast<int64_t>(i) * k + j];
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  PROMPTEM_CHECK(!parts.empty());
+  const int cols = parts[0].dim(1);
+  int rows = 0;
+  bool any_grad = false;
+  for (const Tensor& p : parts) {
+    PROMPTEM_CHECK(p.ndim() == 2 && p.dim(1) == cols);
+    rows += p.dim(0);
+    any_grad = any_grad || p.requires_grad();
+  }
+  Tensor out = Tensor::Zeros({rows, cols});
+  float* po = out.data();
+  int offset = 0;
+  for (const Tensor& p : parts) {
+    std::memcpy(po + static_cast<int64_t>(offset) * cols, p.data(),
+                sizeof(float) * p.numel());
+    offset += p.dim(0);
+  }
+  if (GradEnabled() && any_grad) {
+    TensorImpl* oi = out.impl().get();
+    std::vector<std::shared_ptr<TensorImpl>> impls;
+    for (const Tensor& p : parts) impls.push_back(p.impl());
+    Attach(&out, parts, [impls, oi, cols]() {
+      const float* g = oi->grad->data();
+      int off = 0;
+      for (const auto& pi : impls) {
+        const int pr = pi->shape[0];
+        if (pi->requires_grad) {
+          pi->EnsureGrad();
+          kernels::AxpyOne(g + static_cast<int64_t>(off) * cols,
+                           pi->grad->data(),
+                           static_cast<int64_t>(pr) * cols);
+        }
+        off += pr;
+      }
+    });
+  }
+  return out;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  PROMPTEM_CHECK(!parts.empty());
+  const int rows = parts[0].dim(0);
+  int cols = 0;
+  bool any_grad = false;
+  for (const Tensor& p : parts) {
+    PROMPTEM_CHECK(p.ndim() == 2 && p.dim(0) == rows);
+    cols += p.dim(1);
+    any_grad = any_grad || p.requires_grad();
+  }
+  Tensor out = Tensor::Zeros({rows, cols});
+  float* po = out.data();
+  int offset = 0;
+  for (const Tensor& p : parts) {
+    const int pc = p.dim(1);
+    const float* pp = p.data();
+    for (int i = 0; i < rows; ++i) {
+      std::memcpy(po + static_cast<int64_t>(i) * cols + offset,
+                  pp + static_cast<int64_t>(i) * pc, sizeof(float) * pc);
+    }
+    offset += pc;
+  }
+  if (GradEnabled() && any_grad) {
+    TensorImpl* oi = out.impl().get();
+    std::vector<std::shared_ptr<TensorImpl>> impls;
+    for (const Tensor& p : parts) impls.push_back(p.impl());
+    Attach(&out, parts, [impls, oi, rows, cols]() {
+      const float* g = oi->grad->data();
+      int off = 0;
+      for (const auto& pi : impls) {
+        const int pc = pi->shape[1];
+        if (pi->requires_grad) {
+          pi->EnsureGrad();
+          float* gp = pi->grad->data();
+          for (int i = 0; i < rows; ++i) {
+            kernels::AxpyOne(g + static_cast<int64_t>(i) * cols + off,
+                             gp + static_cast<int64_t>(i) * pc, pc);
+          }
+        }
+        off += pc;
+      }
+    });
+  }
+  return out;
+}
+
+Tensor MeanRows(const Tensor& x) {
+  PROMPTEM_CHECK(x.ndim() == 2);
+  const int rows = x.dim(0);
+  const int cols = x.dim(1);
+  PROMPTEM_CHECK(rows > 0);
+  Tensor out = Tensor::Zeros({1, cols});
+  const float* px = x.data();
+  float* po = out.data();
+  for (int i = 0; i < rows; ++i) {
+    kernels::AxpyOne(px + static_cast<int64_t>(i) * cols, po, cols);
+  }
+  const float inv = 1.0f / static_cast<float>(rows);
+  for (int j = 0; j < cols; ++j) po[j] *= inv;
+  if (Track(x)) {
+    auto xi = x.impl();
+    TensorImpl* oi = out.impl().get();
+    Attach(&out, {x}, [xi, oi, rows, cols]() {
+      xi->EnsureGrad();
+      const float* g = oi->grad->data();
+      float* gx = xi->grad->data();
+      const float inv2 = 1.0f / static_cast<float>(rows);
+      for (int i = 0; i < rows; ++i) {
+        for (int j = 0; j < cols; ++j) {
+          gx[static_cast<int64_t>(i) * cols + j] += g[j] * inv2;
+        }
+      }
+    });
+  }
+  return out;
+}
+
+Tensor Sum(const Tensor& x) {
+  const int64_t n = x.numel();
+  const float* px = x.data();
+  float acc = 0.0f;
+  for (int64_t i = 0; i < n; ++i) acc += px[i];
+  Tensor out = Tensor::Scalar(acc);
+  if (Track(x)) {
+    auto xi = x.impl();
+    TensorImpl* oi = out.impl().get();
+    Attach(&out, {x}, [xi, oi, n]() {
+      xi->EnsureGrad();
+      const float g = oi->grad->data()[0];
+      float* gx = xi->grad->data();
+      for (int64_t i = 0; i < n; ++i) gx[i] += g;
+    });
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& x) {
+  const int64_t n = x.numel();
+  PROMPTEM_CHECK(n > 0);
+  Tensor s = Sum(x);
+  return Scale(s, 1.0f / static_cast<float>(n));
+}
+
+Tensor CrossEntropyLogits(const Tensor& logits,
+                          const std::vector<int>& targets) {
+  PROMPTEM_CHECK(logits.ndim() == 2);
+  const int rows = logits.dim(0);
+  const int cols = logits.dim(1);
+  PROMPTEM_CHECK(static_cast<int>(targets.size()) == rows);
+  auto probs = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(rows) * cols);
+  kernels::SoftmaxRows(logits.data(), rows, cols, probs->data());
+  int valid = 0;
+  double loss = 0.0;
+  for (int i = 0; i < rows; ++i) {
+    const int t = targets[i];
+    if (t < 0) continue;
+    PROMPTEM_CHECK(t < cols);
+    ++valid;
+    loss -= std::log(
+        std::max((*probs)[static_cast<size_t>(i) * cols + t], 1e-12f));
+  }
+  PROMPTEM_CHECK_MSG(valid > 0, "all targets masked in cross entropy");
+  Tensor out = Tensor::Scalar(static_cast<float>(loss / valid));
+  if (Track(logits)) {
+    auto li = logits.impl();
+    TensorImpl* oi = out.impl().get();
+    auto targets_copy = std::make_shared<std::vector<int>>(targets);
+    Attach(&out, {logits}, [li, oi, rows, cols, probs, targets_copy,
+                            valid]() {
+      li->EnsureGrad();
+      const float g = oi->grad->data()[0];
+      float* gl = li->grad->data();
+      const float scale = g / static_cast<float>(valid);
+      for (int i = 0; i < rows; ++i) {
+        const int t = (*targets_copy)[i];
+        if (t < 0) continue;
+        const float* pi = probs->data() + static_cast<size_t>(i) * cols;
+        float* gi = gl + static_cast<int64_t>(i) * cols;
+        for (int j = 0; j < cols; ++j) gi[j] += scale * pi[j];
+        gi[t] -= scale;
+      }
+    });
+  }
+  return out;
+}
+
+}  // namespace promptem::tensor::ops

@@ -1,0 +1,94 @@
+#ifndef PROMPTEM_TENSOR_OPS_H_
+#define PROMPTEM_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "tensor/tensor.h"
+
+namespace promptem::tensor::ops {
+
+/// Differentiable operations. Every function returns a fresh tensor; when
+/// grad mode is on (see NoGradGuard) and any input requires grad, the result
+/// carries a backward closure that accumulates into the inputs' grads.
+///
+/// Shapes are 1-D or 2-D; "rows x cols" below. Shape mismatches are
+/// programmer errors and abort via PROMPTEM_CHECK.
+
+/// Elementwise a + b (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Elementwise a - b (same shape).
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Elementwise a * b (same shape).
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// x[m,n] + bias[n] broadcast over rows.
+Tensor AddBias(const Tensor& x, const Tensor& bias);
+
+/// s * a.
+Tensor Scale(const Tensor& a, float s);
+
+/// a + s.
+Tensor AddScalar(const Tensor& a, float s);
+
+/// op(a) @ op(b) with optional transposes. op(a) is [m,k], op(b) is [k,n].
+Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+
+/// Row-wise softmax of a 2-D tensor.
+Tensor Softmax(const Tensor& x);
+
+/// Row-wise log-softmax of a 2-D tensor.
+Tensor LogSoftmax(const Tensor& x);
+
+/// Layer normalization over the last dim; gamma/beta are [cols].
+Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 float eps = 1e-5f);
+
+/// Activations (elementwise).
+Tensor Gelu(const Tensor& x);
+Tensor Tanh(const Tensor& x);
+Tensor Sigmoid(const Tensor& x);
+Tensor Relu(const Tensor& x);
+Tensor Abs(const Tensor& x);
+Tensor Log(const Tensor& x);
+
+/// Inverted dropout with keep-scale 1/(1-p). Draws the mask from `rng`.
+/// With p == 0 returns the input unchanged.
+Tensor Dropout(const Tensor& x, float p, core::Rng* rng);
+
+/// Gathers rows of `table` [V,D] at token ids -> [ids.size(), D].
+/// Backward scatter-adds into the table rows.
+Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids);
+
+/// Gathers rows of x at `rows` -> [rows.size(), cols].
+Tensor SelectRows(const Tensor& x, const std::vector<int>& rows);
+
+/// Gathers columns of x at `cols` -> [rows, cols.size()].
+Tensor SelectCols(const Tensor& x, const std::vector<int>& cols);
+
+/// Vertically stacks tensors with equal column counts.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+
+/// Horizontally concatenates tensors with equal row counts.
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+
+/// Mean over rows -> [1, cols] (sequence pooling).
+Tensor MeanRows(const Tensor& x);
+
+/// Sum of all elements -> scalar [1].
+Tensor Sum(const Tensor& x);
+
+/// Mean of all elements -> scalar [1].
+Tensor Mean(const Tensor& x);
+
+/// Mean cross-entropy of row-wise logits [m, C] against integer targets.
+/// Returns scalar [1]. Rows with target < 0 are ignored (masked).
+Tensor CrossEntropyLogits(const Tensor& logits,
+                          const std::vector<int>& targets);
+
+}  // namespace promptem::tensor::ops
+
+#endif  // PROMPTEM_TENSOR_OPS_H_

@@ -1,0 +1,180 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/mem_tracker.h"
+#include "core/string_util.h"
+#include "tensor/autograd.h"
+
+namespace promptem::tensor {
+
+Storage::Storage(size_t size) : data_(size, 0.0f) {
+  core::MemTracker::Add(size * sizeof(float));
+}
+
+Storage::~Storage() { core::MemTracker::Sub(data_.size() * sizeof(float)); }
+
+int64_t ShapeNumel(const std::vector<int>& shape) {
+  int64_t n = 1;
+  for (int d : shape) {
+    PROMPTEM_CHECK(d >= 0);
+    n *= d;
+  }
+  return n;
+}
+
+bool SameShape(const std::vector<int>& a, const std::vector<int>& b) {
+  return a == b;
+}
+
+TensorImpl::TensorImpl(std::vector<int> shape_in, bool requires_grad_in)
+    : shape(std::move(shape_in)), requires_grad(requires_grad_in) {
+  storage = std::make_shared<Storage>(static_cast<size_t>(ShapeNumel(shape)));
+}
+
+int64_t TensorImpl::numel() const { return ShapeNumel(shape); }
+
+void TensorImpl::EnsureGrad() {
+  if (!grad) {
+    grad = std::make_shared<Storage>(static_cast<size_t>(numel()));
+  }
+}
+
+Tensor Tensor::Zeros(std::vector<int> shape, bool requires_grad) {
+  return Tensor(std::make_shared<TensorImpl>(std::move(shape), requires_grad));
+}
+
+Tensor Tensor::Full(std::vector<int> shape, float value, bool requires_grad) {
+  Tensor t = Zeros(std::move(shape), requires_grad);
+  std::fill_n(t.data(), t.numel(), value);
+  return t;
+}
+
+Tensor Tensor::FromValues(std::vector<int> shape, std::vector<float> values,
+                          bool requires_grad) {
+  PROMPTEM_CHECK(ShapeNumel(shape) == static_cast<int64_t>(values.size()));
+  Tensor t = Zeros(std::move(shape), requires_grad);
+  std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  return t;
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromValues({1}, {value}, requires_grad);
+}
+
+const std::vector<int>& Tensor::shape() const {
+  PROMPTEM_CHECK(defined());
+  return impl_->shape;
+}
+
+int Tensor::dim(int i) const {
+  PROMPTEM_CHECK(defined());
+  PROMPTEM_CHECK(i >= 0 && i < static_cast<int>(impl_->shape.size()));
+  return impl_->shape[i];
+}
+
+int Tensor::ndim() const {
+  PROMPTEM_CHECK(defined());
+  return static_cast<int>(impl_->shape.size());
+}
+
+int64_t Tensor::numel() const {
+  PROMPTEM_CHECK(defined());
+  return impl_->numel();
+}
+
+float* Tensor::data() {
+  PROMPTEM_CHECK(defined());
+  return impl_->storage->data();
+}
+
+const float* Tensor::data() const {
+  PROMPTEM_CHECK(defined());
+  return impl_->storage->data();
+}
+
+float Tensor::at(int i) const {
+  PROMPTEM_CHECK(ndim() == 1);
+  PROMPTEM_CHECK(i >= 0 && i < dim(0));
+  return data()[i];
+}
+
+float Tensor::at(int i, int j) const {
+  PROMPTEM_CHECK(ndim() == 2);
+  PROMPTEM_CHECK(i >= 0 && i < dim(0) && j >= 0 && j < dim(1));
+  return data()[static_cast<int64_t>(i) * dim(1) + j];
+}
+
+void Tensor::set(int i, float v) {
+  PROMPTEM_CHECK(ndim() == 1);
+  PROMPTEM_CHECK(i >= 0 && i < dim(0));
+  data()[i] = v;
+}
+
+void Tensor::set(int i, int j, float v) {
+  PROMPTEM_CHECK(ndim() == 2);
+  PROMPTEM_CHECK(i >= 0 && i < dim(0) && j >= 0 && j < dim(1));
+  data()[static_cast<int64_t>(i) * dim(1) + j] = v;
+}
+
+float Tensor::item() const {
+  PROMPTEM_CHECK(numel() == 1);
+  return data()[0];
+}
+
+bool Tensor::requires_grad() const {
+  PROMPTEM_CHECK(defined());
+  return impl_->requires_grad;
+}
+
+void Tensor::set_requires_grad(bool value) {
+  PROMPTEM_CHECK(defined());
+  impl_->requires_grad = value;
+}
+
+float* Tensor::grad() {
+  PROMPTEM_CHECK(defined());
+  impl_->EnsureGrad();
+  return impl_->grad->data();
+}
+
+const float* Tensor::grad() const {
+  PROMPTEM_CHECK(defined() && impl_->grad);
+  return impl_->grad->data();
+}
+
+bool Tensor::has_grad() const { return defined() && impl_->grad != nullptr; }
+
+void Tensor::ZeroGrad() {
+  PROMPTEM_CHECK(defined());
+  impl_->EnsureGrad();
+  std::fill_n(impl_->grad->data(), impl_->numel(), 0.0f);
+}
+
+void Tensor::Backward() { RunBackward(*this); }
+
+Tensor Tensor::DetachedClone() const {
+  PROMPTEM_CHECK(defined());
+  Tensor out = Zeros(impl_->shape, /*requires_grad=*/false);
+  std::memcpy(out.data(), data(), numel() * sizeof(float));
+  return out;
+}
+
+void Tensor::CopyDataFrom(const Tensor& other) {
+  PROMPTEM_CHECK(defined() && other.defined());
+  PROMPTEM_CHECK(SameShape(impl_->shape, other.shape()));
+  std::memcpy(data(), other.data(), numel() * sizeof(float));
+}
+
+std::string Tensor::ShapeString() const {
+  if (!defined()) return "[null]";
+  std::string out = "[";
+  for (size_t i = 0; i < impl_->shape.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += core::StrFormat("%d", impl_->shape[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace promptem::tensor

@@ -1,0 +1,142 @@
+#ifndef PROMPTEM_TENSOR_TENSOR_H_
+#define PROMPTEM_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace promptem::tensor {
+
+/// Row-major float buffer whose bytes are registered with core::MemTracker,
+/// so benchmark memory numbers reflect live tensor storage.
+class Storage {
+ public:
+  explicit Storage(size_t size);
+  ~Storage();
+
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  size_t size() const { return data_.size(); }
+
+ private:
+  std::vector<float> data_;
+};
+
+class TensorImpl;
+
+/// A dense row-major float tensor with reverse-mode autodiff.
+///
+/// Tensor is a cheap value type (shared_ptr to impl). Operations in
+/// ops.h build a computation graph when any input has requires_grad;
+/// Tensor::Backward() runs reverse topological accumulation into
+/// each participating tensor's grad buffer.
+///
+/// The library trains with per-sample graphs (batch dimension folded into
+/// the row dimension or looped outside), so all shapes here are 1-D or 2-D.
+class Tensor {
+ public:
+  /// An empty (null) tensor. Most APIs require a non-null tensor.
+  Tensor() = default;
+
+  /// Allocates a zero-initialized tensor of the given shape.
+  static Tensor Zeros(std::vector<int> shape, bool requires_grad = false);
+
+  /// Allocates a tensor filled with `value`.
+  static Tensor Full(std::vector<int> shape, float value,
+                     bool requires_grad = false);
+
+  /// Wraps explicit values; `values.size()` must equal the shape volume.
+  static Tensor FromValues(std::vector<int> shape,
+                           std::vector<float> values,
+                           bool requires_grad = false);
+
+  /// 1-element convenience scalar.
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+
+  const std::vector<int>& shape() const;
+  int dim(int i) const;
+  int ndim() const;
+  /// Total element count.
+  int64_t numel() const;
+
+  float* data();
+  const float* data() const;
+
+  /// Element access for 1-D / 2-D tensors (checked).
+  float at(int i) const;
+  float at(int i, int j) const;
+  void set(int i, float v);
+  void set(int i, int j, float v);
+
+  /// Scalar value of a 1-element tensor.
+  float item() const;
+
+  bool requires_grad() const;
+  void set_requires_grad(bool value);
+
+  /// Gradient buffer (same shape as data). Null until backward touches it.
+  float* grad();
+  const float* grad() const;
+  bool has_grad() const;
+  /// Allocates (if needed) and zeroes the gradient buffer.
+  void ZeroGrad();
+
+  /// Runs reverse-mode accumulation from this scalar tensor. Seeds with
+  /// d(self)/d(self) = 1. Requires numel() == 1.
+  void Backward();
+
+  /// Returns a detached copy sharing no graph history (fresh storage).
+  Tensor DetachedClone() const;
+
+  /// Copies values from another tensor of identical shape (no graph edge).
+  void CopyDataFrom(const Tensor& other);
+
+  /// Human-readable shape like "[3, 4]".
+  std::string ShapeString() const;
+
+  /// Internal: graph node access for ops.cc / autograd.cc.
+  const std::shared_ptr<TensorImpl>& impl() const { return impl_; }
+  explicit Tensor(std::shared_ptr<TensorImpl> impl) : impl_(std::move(impl)) {}
+
+ private:
+  std::shared_ptr<TensorImpl> impl_;
+};
+
+/// Graph node + storage for one tensor. Exposed so ops.cc can attach
+/// backward closures; user code should only touch Tensor.
+class TensorImpl {
+ public:
+  TensorImpl(std::vector<int> shape, bool requires_grad);
+
+  std::vector<int> shape;
+  std::shared_ptr<Storage> storage;
+  std::shared_ptr<Storage> grad;  // lazily allocated
+  bool requires_grad = false;
+
+  /// Parents in the computation graph and the closure that propagates this
+  /// node's grad into the parents' grads.
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void()> backward_fn;
+
+  int64_t numel() const;
+  void EnsureGrad();
+};
+
+/// Volume of a shape.
+int64_t ShapeNumel(const std::vector<int>& shape);
+
+/// True when two shapes are identical.
+bool SameShape(const std::vector<int>& a, const std::vector<int>& b);
+
+}  // namespace promptem::tensor
+
+#endif  // PROMPTEM_TENSOR_TENSOR_H_

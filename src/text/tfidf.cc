@@ -1,0 +1,66 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace promptem::text {
+
+TfIdf::TfIdf(const std::vector<std::vector<std::string>>& documents)
+    : num_documents_(static_cast<int>(documents.size())) {
+  for (const auto& doc : documents) {
+    std::unordered_set<std::string> seen(doc.begin(), doc.end());
+    for (const auto& tok : seen) ++doc_freq_[tok];
+  }
+}
+
+double TfIdf::Idf(const std::string& token) const {
+  auto it = doc_freq_.find(token);
+  const int df = it == doc_freq_.end() ? 0 : it->second;
+  return std::log((1.0 + num_documents_) / (1.0 + df)) + 1.0;
+}
+
+double TfIdf::Score(const std::string& token,
+                    const std::vector<std::string>& document) const {
+  if (document.empty()) return 0.0;
+  int tf = 0;
+  for (const auto& tok : document) tf += tok == token ? 1 : 0;
+  return (static_cast<double>(tf) / document.size()) * Idf(token);
+}
+
+bool IsStopword(const std::string& token) {
+  static const std::unordered_set<std::string> kStopwords = {
+      "a",    "an",   "and",  "are", "as",   "at",   "be",   "by",
+      "for",  "from", "has",  "he",  "in",   "is",   "it",   "its",
+      "of",   "on",   "that", "the", "to",   "was",  "were", "will",
+      "with", "this", "or",   "but", "not",  "have", "had",  "we",
+      "they", "their", "which", "been", "than", "then", "these", "those"};
+  if (token.size() == 1 &&
+      !std::isalnum(static_cast<unsigned char>(token[0]))) {
+    return true;
+  }
+  return kStopwords.count(token) > 0;
+}
+
+std::vector<std::string> SummarizeTokens(
+    const TfIdf& tfidf, const std::vector<std::string>& tokens,
+    size_t max_tokens) {
+  if (tokens.size() <= max_tokens) return tokens;
+  // Rank positions by TF-IDF of their token, stopwords last.
+  std::vector<size_t> order(tokens.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<double> scores(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    scores[i] = IsStopword(tokens[i]) ? -1.0 : tfidf.Score(tokens[i], tokens);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return scores[a] > scores[b];
+  });
+  order.resize(max_tokens);
+  std::sort(order.begin(), order.end());  // restore original order
+  std::vector<std::string> out;
+  out.reserve(max_tokens);
+  for (size_t pos : order) out.push_back(tokens[pos]);
+  return out;
+}
+
+}  // namespace promptem::text

@@ -1,0 +1,46 @@
+#ifndef PROMPTEM_TEXT_TFIDF_H_
+#define PROMPTEM_TEXT_TFIDF_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace promptem::text {
+
+/// Corpus-level TF-IDF statistics. Used for (a) the long-entry summarizer
+/// from the paper's Appendix F (Ditto-style: keep non-stopword tokens with
+/// high TF-IDF), and (b) the TDmatch graph edge weights.
+class TfIdf {
+ public:
+  /// Builds document frequencies over tokenized documents.
+  explicit TfIdf(const std::vector<std::vector<std::string>>& documents);
+
+  /// Inverse document frequency of a token (smoothed); unseen tokens get
+  /// the maximum IDF.
+  double Idf(const std::string& token) const;
+
+  /// TF-IDF score of `token` within one tokenized document.
+  double Score(const std::string& token,
+               const std::vector<std::string>& document) const;
+
+  int num_documents() const { return num_documents_; }
+
+ private:
+  std::unordered_map<std::string, int> doc_freq_;
+  int num_documents_ = 0;
+};
+
+/// True for common English stopwords and single punctuation tokens.
+bool IsStopword(const std::string& token);
+
+/// Appendix F summarizer: retains the `max_tokens` tokens with the highest
+/// TF-IDF (dropping stopwords), preserving the original token order.
+/// Documents already short enough are returned unchanged.
+std::vector<std::string> SummarizeTokens(
+    const TfIdf& tfidf, const std::vector<std::string>& tokens,
+    size_t max_tokens);
+
+}  // namespace promptem::text
+
+#endif  // PROMPTEM_TEXT_TFIDF_H_

@@ -1,0 +1,90 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace promptem::text {
+
+std::vector<std::string> WordTokenize(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  // Long alphabetic runs are split into 3-character chunks, mimicking
+  // subword tokenization: an abbreviated or truncated word still shares
+  // its leading chunks with the full form, which is what makes LM-based
+  // matchers robust to surface noise (and what whole-word graph matchers
+  // like TDmatch lack).
+  auto flush = [&]() {
+    if (current.empty()) return;
+    if (current.size() <= 4) {
+      out.push_back(current);
+    } else {
+      for (size_t i = 0; i < current.size(); i += 3) {
+        out.push_back(current.substr(i, 3));
+      }
+    }
+    current.clear();
+  };
+  for (size_t i = 0; i < text.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    if (c == '[') {
+      // Try to match a bracketed special tag like [COL] / [MASK].
+      size_t close = text.find(']', i);
+      if (close != std::string::npos && close - i <= 8) {
+        bool is_tag = true;
+        for (size_t j = i + 1; j < close; ++j) {
+          if (!std::isalpha(static_cast<unsigned char>(text[j]))) {
+            is_tag = false;
+            break;
+          }
+        }
+        if (is_tag && close > i + 1) {
+          flush();
+          std::string tag = text.substr(i, close - i + 1);
+          for (auto& ch : tag) {
+            ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+          }
+          out.push_back(tag);
+          i = close;
+          continue;
+        }
+      }
+    }
+    if (std::isspace(c)) {
+      flush();
+    } else if (std::isdigit(c)) {
+      // Digits become single-character tokens.
+      flush();
+      out.push_back(std::string(1, static_cast<char>(c)));
+    } else if (std::isalpha(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      // Punctuation: single-character token.
+      flush();
+      out.push_back(std::string(1, static_cast<char>(c)));
+    }
+  }
+  flush();
+  return out;
+}
+
+std::vector<int> TokensToIds(const Vocab& vocab,
+                             const std::vector<std::string>& tokens) {
+  std::vector<int> ids;
+  ids.reserve(tokens.size());
+  for (const auto& tok : tokens) ids.push_back(vocab.ToId(tok));
+  return ids;
+}
+
+std::vector<int> EncodeText(const Vocab& vocab, const std::string& text) {
+  return TokensToIds(vocab, WordTokenize(text));
+}
+
+std::string DecodeIds(const Vocab& vocab, const std::vector<int>& ids) {
+  std::string out;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += vocab.ToToken(ids[i]);
+  }
+  return out;
+}
+
+}  // namespace promptem::text

@@ -1,0 +1,36 @@
+#ifndef PROMPTEM_TEXT_TOKENIZER_H_
+#define PROMPTEM_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "text/vocab.h"
+
+namespace promptem::text {
+
+/// Splits raw text into normalized word tokens:
+///  - ASCII-lowercases,
+///  - separates punctuation into single-character tokens,
+///  - splits runs of digits into single-digit tokens ("2012" -> 2 0 1 2),
+///    which mirrors how LM tokenizers fragment numbers and reproduces the
+///    paper's "LMs are not good at understanding digits" behaviour on
+///    digit-heavy datasets,
+///  - splits alphabetic runs longer than four characters into 3-character
+///    chunks (subword-style), so abbreviations still overlap with the full
+///    word form,
+///  - keeps bracketed special tags ([COL], [VAL], [MASK], ...) whole.
+std::vector<std::string> WordTokenize(const std::string& text);
+
+/// Maps tokens to ids with a vocabulary (unknowns -> [UNK]).
+std::vector<int> TokensToIds(const Vocab& vocab,
+                             const std::vector<std::string>& tokens);
+
+/// Tokenize + map in one step.
+std::vector<int> EncodeText(const Vocab& vocab, const std::string& text);
+
+/// Decodes ids back to a space-joined string (debugging aids and tests).
+std::string DecodeIds(const Vocab& vocab, const std::vector<int>& ids);
+
+}  // namespace promptem::text
+
+#endif  // PROMPTEM_TEXT_TOKENIZER_H_

@@ -1,0 +1,84 @@
+#include "text/vocab.h"
+
+#include <algorithm>
+#include <map>
+
+namespace promptem::text {
+
+const char* SpecialTokens::Name(int id) {
+  switch (id) {
+    case kPad:
+      return "[PAD]";
+    case kUnk:
+      return "[UNK]";
+    case kCls:
+      return "[CLS]";
+    case kSep:
+      return "[SEP]";
+    case kMask:
+      return "[MASK]";
+    case kCol:
+      return "[COL]";
+    case kVal:
+      return "[VAL]";
+    default:
+      return "";
+  }
+}
+
+Vocab::Vocab() {
+  for (int i = 0; i < SpecialTokens::kCount; ++i) {
+    const std::string name = SpecialTokens::Name(i);
+    ids_.emplace(name, i);
+    tokens_.push_back(name);
+  }
+}
+
+int Vocab::AddToken(const std::string& token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(tokens_.size());
+  ids_.emplace(token, id);
+  tokens_.push_back(token);
+  return id;
+}
+
+int Vocab::ToId(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? SpecialTokens::kUnk : it->second;
+}
+
+bool Vocab::Contains(const std::string& token) const {
+  return ids_.count(token) > 0;
+}
+
+const std::string& Vocab::ToToken(int id) const {
+  PROMPTEM_CHECK(id >= 0 && id < size());
+  return tokens_[static_cast<size_t>(id)];
+}
+
+Vocab BuildVocab(const std::vector<std::vector<std::string>>& documents,
+                 int min_count, int max_size,
+                 const std::vector<std::string>& always_keep) {
+  std::map<std::string, int64_t> counts;
+  for (const auto& doc : documents) {
+    for (const auto& tok : doc) ++counts[tok];
+  }
+  std::vector<std::pair<std::string, int64_t>> sorted(counts.begin(),
+                                                      counts.end());
+  // Most frequent first; ties alphabetical for determinism.
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  Vocab vocab;
+  for (const auto& token : always_keep) vocab.AddToken(token);
+  for (const auto& [token, count] : sorted) {
+    if (count < min_count) break;
+    if (max_size > 0 && vocab.size() >= max_size) break;
+    vocab.AddToken(token);
+  }
+  return vocab;
+}
+
+}  // namespace promptem::text

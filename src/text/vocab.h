@@ -1,0 +1,63 @@
+#ifndef PROMPTEM_TEXT_VOCAB_H_
+#define PROMPTEM_TEXT_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+
+namespace promptem::text {
+
+/// Special token ids occupy the first vocabulary slots, in this order.
+struct SpecialTokens {
+  static constexpr int kPad = 0;
+  static constexpr int kUnk = 1;
+  static constexpr int kCls = 2;
+  static constexpr int kSep = 3;
+  static constexpr int kMask = 4;
+  static constexpr int kCol = 5;   ///< attribute-name tag from serialization
+  static constexpr int kVal = 6;   ///< attribute-value tag from serialization
+  static constexpr int kCount = 7;
+
+  static const char* Name(int id);
+};
+
+/// A frozen token -> id mapping with the special tokens pre-installed.
+/// Built once from a corpus (see BuildVocab) and shared by the LM, all
+/// matchers, and the prompt verbalizer.
+class Vocab {
+ public:
+  /// Creates a vocabulary holding only the special tokens.
+  Vocab();
+
+  /// Adds a token if absent; returns its id either way.
+  int AddToken(const std::string& token);
+
+  /// Id for the token, or kUnk when unknown.
+  int ToId(const std::string& token) const;
+
+  /// True when the token is present.
+  bool Contains(const std::string& token) const;
+
+  /// Token string for an id (checked).
+  const std::string& ToToken(int id) const;
+
+  int size() const { return static_cast<int>(tokens_.size()); }
+
+ private:
+  std::unordered_map<std::string, int> ids_;
+  std::vector<std::string> tokens_;
+};
+
+/// Builds a vocabulary from tokenized documents, keeping tokens that occur
+/// at least `min_count` times, most frequent first, capped at `max_size`
+/// (0 = unlimited). Label words needed by the verbalizer should be passed
+/// via `always_keep` so prompt-tuning never hits [UNK] on them.
+Vocab BuildVocab(const std::vector<std::vector<std::string>>& documents,
+                 int min_count, int max_size,
+                 const std::vector<std::string>& always_keep = {});
+
+}  // namespace promptem::text
+
+#endif  // PROMPTEM_TEXT_VOCAB_H_

@@ -1,0 +1,225 @@
+// Property-style parameterized sweeps (TEST_P) over the numeric core:
+// gradient checks for MatMul across shape/transpose combinations,
+// softmax/log-softmax invariants across widths, serializer/tokenizer
+// round-trip properties across all benchmarks, and RNG stream
+// independence across seeds.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "data/benchmarks.h"
+#include "data/json.h"
+#include "data/serializer.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "text/tokenizer.h"
+
+namespace promptem {
+namespace {
+
+namespace ops = tensor::ops;
+
+tensor::Tensor RandomTensor(std::vector<int> shape, uint64_t seed) {
+  core::Rng rng(seed);
+  tensor::Tensor t = tensor::Tensor::Zeros(std::move(shape));
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = rng.Uniform(-1.0f, 1.0f);
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// MatMul gradients across (m, k, n, trans_a, trans_b).
+// ---------------------------------------------------------------------------
+
+using MatMulCase = std::tuple<int, int, int, bool, bool>;
+
+class MatMulGradSweep : public ::testing::TestWithParam<MatMulCase> {};
+
+TEST_P(MatMulGradSweep, NumericalGradient) {
+  const auto [m, k, n, trans_a, trans_b] = GetParam();
+  const std::vector<int> a_shape =
+      trans_a ? std::vector<int>{k, m} : std::vector<int>{m, k};
+  const std::vector<int> b_shape =
+      trans_b ? std::vector<int>{n, k} : std::vector<int>{k, n};
+
+  tensor::Tensor a = RandomTensor(a_shape, 100 + m);
+  tensor::Tensor b = RandomTensor(b_shape, 200 + n);
+  a.set_requires_grad(true);
+  b.set_requires_grad(true);
+
+  auto loss_fn = [&]() {
+    tensor::Tensor c = ops::MatMul(a, b, trans_a, trans_b);
+    return ops::Sum(ops::Mul(c, c));
+  };
+  a.ZeroGrad();
+  b.ZeroGrad();
+  loss_fn().Backward();
+  std::vector<float> ga(a.grad(), a.grad() + a.numel());
+  std::vector<float> gb(b.grad(), b.grad() + b.numel());
+
+  const float h = 1e-3f;
+  auto check = [&](tensor::Tensor* t, const std::vector<float>& analytic) {
+    for (int64_t i = 0; i < t->numel(); ++i) {
+      const float original = t->data()[i];
+      t->data()[i] = original + h;
+      const float up = loss_fn().item();
+      t->data()[i] = original - h;
+      const float down = loss_fn().item();
+      t->data()[i] = original;
+      EXPECT_NEAR(analytic[static_cast<size_t>(i)], (up - down) / (2 * h),
+                  5e-2f);
+    }
+  };
+  check(&a, ga);
+  check(&b, gb);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MatMulGradSweep,
+    ::testing::Values(MatMulCase{1, 1, 1, false, false},
+                      MatMulCase{2, 3, 4, false, false},
+                      MatMulCase{2, 3, 4, false, true},
+                      MatMulCase{2, 3, 4, true, false},
+                      MatMulCase{2, 3, 4, true, true},
+                      MatMulCase{1, 8, 2, false, true},
+                      MatMulCase{5, 1, 5, false, false}));
+
+// ---------------------------------------------------------------------------
+// Softmax invariants across widths.
+// ---------------------------------------------------------------------------
+
+class SoftmaxWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SoftmaxWidthSweep, RowsSumToOneAndShiftInvariant) {
+  const int cols = GetParam();
+  tensor::Tensor x = RandomTensor({3, cols}, 300 + cols);
+  tensor::Tensor y = ops::Softmax(x);
+  for (int i = 0; i < 3; ++i) {
+    float sum = 0.0f;
+    for (int j = 0; j < cols; ++j) {
+      EXPECT_GE(y.at(i, j), 0.0f);
+      sum += y.at(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+  // Shift invariance: softmax(x + c) == softmax(x).
+  tensor::Tensor shifted = ops::AddScalar(x, 5.0f);
+  tensor::Tensor y2 = ops::Softmax(shifted);
+  for (int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_NEAR(y.data()[i], y2.data()[i], 1e-5f);
+  }
+}
+
+TEST_P(SoftmaxWidthSweep, LogSoftmaxConsistent) {
+  const int cols = GetParam();
+  tensor::Tensor x = RandomTensor({2, cols}, 400 + cols);
+  tensor::Tensor soft = ops::Softmax(x);
+  tensor::Tensor logsoft = ops::LogSoftmax(x);
+  for (int64_t i = 0; i < soft.numel(); ++i) {
+    EXPECT_NEAR(std::exp(logsoft.data()[i]), soft.data()[i], 1e-5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SoftmaxWidthSweep,
+                         ::testing::Values(1, 2, 7, 64, 333));
+
+// ---------------------------------------------------------------------------
+// Serializer / JSON / tokenizer properties across all eight benchmarks.
+// ---------------------------------------------------------------------------
+
+class BenchmarkPropertySweep
+    : public ::testing::TestWithParam<data::BenchmarkKind> {};
+
+TEST_P(BenchmarkPropertySweep, SerializationTagsBalance) {
+  data::BenchmarkGenOptions small;
+  small.size_scale = 0.2;
+  data::GemDataset ds = data::GenerateBenchmark(GetParam(), 9, small);
+  for (const auto& record : ds.left_table) {
+    const std::string s = data::SerializeRecord(record);
+    if (record.format == data::RecordFormat::kTextual) {
+      EXPECT_EQ(s.find("[COL]"), std::string::npos);
+      continue;
+    }
+    // Every [COL] is followed (eventually) by a [VAL]; counts match.
+    size_t cols = 0, vals = 0, pos = 0;
+    while ((pos = s.find("[COL]", pos)) != std::string::npos) {
+      ++cols;
+      pos += 5;
+    }
+    pos = 0;
+    while ((pos = s.find("[VAL]", pos)) != std::string::npos) {
+      ++vals;
+      pos += 5;
+    }
+    EXPECT_EQ(cols, vals);
+    EXPECT_GE(cols, record.attrs.size());
+  }
+}
+
+TEST_P(BenchmarkPropertySweep, JsonRoundTripForSemiStructured) {
+  data::BenchmarkGenOptions small;
+  small.size_scale = 0.2;
+  data::GemDataset ds = data::GenerateBenchmark(GetParam(), 9, small);
+  for (const auto& record : ds.left_table) {
+    if (record.format != data::RecordFormat::kSemiStructured) continue;
+    auto back = data::ParseJsonRecord(data::RecordToJson(record));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(data::SerializeRecord(back.value()),
+              data::SerializeRecord(record));
+  }
+}
+
+TEST_P(BenchmarkPropertySweep, TokenizerNeverEmitsEmptyTokens) {
+  data::BenchmarkGenOptions small;
+  small.size_scale = 0.2;
+  data::GemDataset ds = data::GenerateBenchmark(GetParam(), 9, small);
+  for (const auto& record : ds.right_table) {
+    for (const auto& tok :
+         text::WordTokenize(data::SerializeRecord(record))) {
+      EXPECT_FALSE(tok.empty());
+      EXPECT_LE(tok.size(), 8u);  // chunking bounds token length
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkPropertySweep,
+    ::testing::ValuesIn(data::AllBenchmarks()),
+    [](const ::testing::TestParamInfo<data::BenchmarkKind>& info) {
+      std::string name = data::GetBenchmarkInfo(info.param).name;
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// RNG seed sweep: distinct seeds give distinct streams; same seed agrees.
+// ---------------------------------------------------------------------------
+
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, ReproducibleAndWellDistributed) {
+  const uint64_t seed = GetParam();
+  core::Rng a(seed);
+  core::Rng b(seed);
+  double mean = 0.0;
+  for (int i = 0; i < 2000; ++i) {
+    const double v = a.NextDouble();
+    EXPECT_EQ(v, b.NextDouble());
+    mean += v;
+  }
+  EXPECT_NEAR(mean / 2000.0, 0.5, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ull, 1ull, 42ull,
+                                           0xDEADBEEFull,
+                                           0xFFFFFFFFFFFFFFFFull));
+
+}  // namespace
+}  // namespace promptem

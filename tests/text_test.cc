@@ -1,0 +1,173 @@
+// Tests for tokenization, vocabulary construction, and TF-IDF
+// summarization (Appendix F).
+
+#include <gtest/gtest.h>
+
+#include "text/tfidf.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+
+namespace promptem::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesShortWords) {
+  auto toks = WordTokenize("The Cat");
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "the");
+  EXPECT_EQ(toks[1], "cat");
+}
+
+TEST(TokenizerTest, SplitsDigitsIntoSingles) {
+  auto toks = WordTokenize("2012");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0], "2");
+  EXPECT_EQ(toks[3], "2");
+}
+
+TEST(TokenizerTest, ChunksLongWords) {
+  auto toks = WordTokenize("marberton");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "mar");
+  EXPECT_EQ(toks[1], "ber");
+  EXPECT_EQ(toks[2], "ton");
+}
+
+TEST(TokenizerTest, AbbreviationSharesChunkWithFullForm) {
+  // "marber" -> mar ber; "mar." -> mar .  — overlap survives abbreviation.
+  auto full = WordTokenize("marber");
+  auto abbrev = WordTokenize("mar.");
+  EXPECT_EQ(full[0], abbrev[0]);
+}
+
+TEST(TokenizerTest, KeepsSpecialTagsWhole) {
+  auto toks = WordTokenize("[COL] year [VAL] x [MASK]");
+  EXPECT_EQ(toks[0], "[COL]");
+  EXPECT_EQ(toks[1], "year");
+  EXPECT_EQ(toks[2], "[VAL]");
+  EXPECT_EQ(toks.back(), "[MASK]");
+}
+
+TEST(TokenizerTest, PunctuationBecomesTokens) {
+  auto toks = WordTokenize("a-b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1], "-");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(WordTokenize("").empty());
+  EXPECT_TRUE(WordTokenize("   ").empty());
+}
+
+TEST(TokenizerTest, BracketNotATagFallsThrough) {
+  // "[12]" is not alphabetic inside -> not treated as a tag.
+  auto toks = WordTokenize("[12]");
+  EXPECT_GT(toks.size(), 1u);
+}
+
+TEST(VocabTest, SpecialTokensPreinstalled) {
+  Vocab v;
+  EXPECT_EQ(v.size(), SpecialTokens::kCount);
+  EXPECT_EQ(v.ToId("[MASK]"), SpecialTokens::kMask);
+  EXPECT_EQ(v.ToId("[COL]"), SpecialTokens::kCol);
+  EXPECT_EQ(v.ToToken(SpecialTokens::kCls), "[CLS]");
+}
+
+TEST(VocabTest, AddAndLookup) {
+  Vocab v;
+  const int id = v.AddToken("cat");
+  EXPECT_EQ(v.ToId("cat"), id);
+  EXPECT_EQ(v.AddToken("cat"), id);  // idempotent
+  EXPECT_TRUE(v.Contains("cat"));
+  EXPECT_FALSE(v.Contains("dog"));
+  EXPECT_EQ(v.ToId("dog"), SpecialTokens::kUnk);
+}
+
+TEST(VocabTest, BuildVocabFrequencyOrder) {
+  std::vector<std::vector<std::string>> docs = {
+      {"a", "a", "a", "b"}, {"a", "b", "c"}};
+  Vocab v = BuildVocab(docs, /*min_count=*/1, /*max_size=*/0);
+  EXPECT_LT(v.ToId("a"), v.ToId("b"));
+  EXPECT_LT(v.ToId("b"), v.ToId("c"));
+}
+
+TEST(VocabTest, BuildVocabMinCount) {
+  std::vector<std::vector<std::string>> docs = {{"a", "a", "b"}};
+  Vocab v = BuildVocab(docs, /*min_count=*/2, /*max_size=*/0);
+  EXPECT_TRUE(v.Contains("a"));
+  EXPECT_FALSE(v.Contains("b"));
+}
+
+TEST(VocabTest, BuildVocabAlwaysKeep) {
+  std::vector<std::vector<std::string>> docs = {{"a"}};
+  Vocab v = BuildVocab(docs, 1, 0, {"matched", "mismatched"});
+  EXPECT_TRUE(v.Contains("matched"));
+  EXPECT_TRUE(v.Contains("mismatched"));
+}
+
+TEST(VocabTest, BuildVocabMaxSize) {
+  std::vector<std::vector<std::string>> docs = {{"a", "b", "c", "d"}};
+  Vocab v = BuildVocab(docs, 1, SpecialTokens::kCount + 2);
+  EXPECT_EQ(v.size(), SpecialTokens::kCount + 2);
+}
+
+TEST(EncodeTest, RoundTripThroughIds) {
+  std::vector<std::vector<std::string>> docs = {{"cat", "dog"}};
+  Vocab v = BuildVocab(docs, 1, 0);
+  auto ids = EncodeText(v, "cat dog cat");
+  EXPECT_EQ(DecodeIds(v, ids), "cat dog cat");
+}
+
+TEST(TfIdfTest, RareTokenScoresHigher) {
+  std::vector<std::vector<std::string>> docs = {
+      {"the", "rare"}, {"the", "common"}, {"the", "common"}};
+  TfIdf tfidf(docs);
+  EXPECT_GT(tfidf.Idf("rare"), tfidf.Idf("the"));
+  EXPECT_GT(tfidf.Idf("unseen"), tfidf.Idf("rare"));
+}
+
+TEST(TfIdfTest, ScoreCombinesTfAndIdf) {
+  std::vector<std::vector<std::string>> docs = {{"x", "y"}, {"y"}};
+  TfIdf tfidf(docs);
+  std::vector<std::string> doc = {"x", "x", "y"};
+  EXPECT_GT(tfidf.Score("x", doc), tfidf.Score("y", doc));
+}
+
+TEST(StopwordTest, CommonWordsAndPunct) {
+  EXPECT_TRUE(IsStopword("the"));
+  EXPECT_TRUE(IsStopword(","));
+  EXPECT_FALSE(IsStopword("matched"));
+}
+
+TEST(SummarizeTest, ShortDocUnchanged) {
+  std::vector<std::vector<std::string>> docs = {{"a", "b"}};
+  TfIdf tfidf(docs);
+  std::vector<std::string> doc = {"a", "b"};
+  EXPECT_EQ(SummarizeTokens(tfidf, doc, 5), doc);
+}
+
+TEST(SummarizeTest, KeepsHighTfIdfDropsStopwords) {
+  std::vector<std::vector<std::string>> docs = {
+      {"the", "widget"}, {"the", "gadget"}, {"the", "thing"}};
+  TfIdf tfidf(docs);
+  std::vector<std::string> doc = {"the", "widget", "the", "gadget", "the"};
+  auto out = SummarizeTokens(tfidf, doc, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "widget");
+  EXPECT_EQ(out[1], "gadget");
+}
+
+TEST(SummarizeTest, PreservesOriginalOrder) {
+  std::vector<std::vector<std::string>> docs = {{"z", "a", "q"}};
+  TfIdf tfidf(docs);
+  std::vector<std::string> doc = {"z", "a", "q", "z", "a", "q"};
+  auto out = SummarizeTokens(tfidf, doc, 3);
+  // Whatever survives must appear in original relative order.
+  for (size_t i = 1; i < out.size(); ++i) {
+    auto pos_prev = std::find(doc.begin(), doc.end(), out[i - 1]);
+    auto pos_cur = std::find(pos_prev, doc.end(), out[i]);
+    EXPECT_NE(pos_cur, doc.end());
+  }
+}
+
+}  // namespace
+}  // namespace promptem::text
