@@ -1,11 +1,17 @@
 // Micro-benchmarks (google-benchmark) for the hot primitives underneath
-// every experiment: GEMM, softmax, layer-norm, the tokenizer, the §2.2
-// serializer, one transformer forward pass, and one TDmatch PPR sweep.
+// every experiment: GEMM (single-thread and pool sweep), softmax,
+// layer-norm, the tokenizer, the §2.2 serializer, one transformer forward
+// pass, and one TDmatch PPR sweep. Unless --benchmark_out is given, the
+// results are also written to BENCH_micro.json (kernel -> ns/op, items/s).
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "baselines/tdmatch.h"
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "data/benchmarks.h"
 #include "data/serializer.h"
 #include "nn/transformer.h"
@@ -28,7 +34,35 @@ void BM_Gemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+/// Same GEMM across pool sizes: Args({n, threads}). Sizes above the
+/// parallel threshold shard rows across the pool; the result is bitwise
+/// identical at every pool size.
+void BM_GemmPool(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  const int saved = core::GetNumThreads();
+  core::SetNumThreads(threads);
+  std::vector<float> a(static_cast<size_t>(n) * n, 1.0f);
+  std::vector<float> b(static_cast<size_t>(n) * n, 2.0f);
+  std::vector<float> c(static_cast<size_t>(n) * n, 0.0f);
+  for (auto _ : state) {
+    tensor::kernels::Gemm(false, false, n, n, n, 1.0f, a.data(), b.data(),
+                          0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+  state.counters["threads"] = threads;
+  core::SetNumThreads(saved);
+}
+BENCHMARK(BM_GemmPool)
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4});
 
 void BM_GemmTransB(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -40,6 +74,7 @@ void BM_GemmTransB(benchmark::State& state) {
                           0.0f, c.data());
     benchmark::DoNotOptimize(c.data());
   }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
 }
 BENCHMARK(BM_GemmTransB)->Arg(64);
 
@@ -132,4 +167,26 @@ BENCHMARK(BM_TdMatchPpr);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+/// BENCHMARK_MAIN, except that when the caller did not ask for a report
+/// file the JSON goes to BENCH_micro.json in the working directory.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      has_out = true;
+    }
+  }
+  std::string out_flag = "--benchmark_out=BENCH_micro.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

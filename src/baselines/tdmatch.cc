@@ -7,6 +7,7 @@
 
 #include "core/mem_tracker.h"
 #include "core/status.h"
+#include "core/thread_pool.h"
 #include "data/serializer.h"
 
 namespace promptem::baselines {
@@ -148,18 +149,25 @@ float TdMatchGraph::PairScore(int left_index, int right_index) const {
 
 std::vector<int> TdMatchGraph::PredictPairs(
     const std::vector<data::PairExample>& pairs) const {
-  // Collect the distinct left/right records among the candidates and
-  // compute PPR once per record.
+  // Collect the distinct left/right records among the candidates, then
+  // compute PPR once per record with the walks sharded across the pool.
   std::map<int, std::vector<float>> left_ppr;
   std::map<int, std::vector<float>> right_ppr;
   for (const auto& pr : pairs) {
-    if (!left_ppr.count(pr.left_index)) {
-      left_ppr[pr.left_index] = Ppr(LeftNode(pr.left_index));
-    }
-    if (!right_ppr.count(pr.right_index)) {
-      right_ppr[pr.right_index] = Ppr(RightNode(pr.right_index));
-    }
+    left_ppr.emplace(pr.left_index, std::vector<float>());
+    right_ppr.emplace(pr.right_index, std::vector<float>());
   }
+  std::vector<std::pair<int, std::vector<float>*>> tasks;
+  tasks.reserve(left_ppr.size() + right_ppr.size());
+  for (auto& [i, ppr] : left_ppr) tasks.emplace_back(LeftNode(i), &ppr);
+  for (auto& [j, ppr] : right_ppr) tasks.emplace_back(RightNode(j), &ppr);
+  core::ParallelFor(0, static_cast<int64_t>(tasks.size()), 1,
+                    [&](int64_t begin, int64_t end) {
+    for (int64_t t = begin; t < end; ++t) {
+      auto& [node, ppr] = tasks[static_cast<size_t>(t)];
+      *ppr = Ppr(node);
+    }
+  });
   // Global mutual best match: each side's PPR is ranked against every
   // record of the other table (TDmatch ranks whole tables, not just the
   // candidate list).
@@ -206,13 +214,16 @@ void TdMatchGraph::ComputeAllEmbeddings() {
   // The whole-graph random-walk phase: one dense PPR vector per record.
   // O(records * iterations * edges) time and O(records * nodes) memory —
   // the scalability bottleneck the paper measures in Table 4.
+  // Each record's walk is independent, so the records shard across the
+  // thread pool, each filling its own preallocated slot.
   const int num_records = num_left_ + num_right_;
-  embeddings_.clear();
-  embeddings_.reserve(static_cast<size_t>(num_records));
-  for (int r = 0; r < num_records; ++r) {
-    embeddings_.push_back(PprUncached(r, /*iterations=*/20,
-                                      /*restart=*/0.15f));
-  }
+  embeddings_.assign(static_cast<size_t>(num_records), {});
+  core::ParallelFor(0, num_records, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t r = begin; r < end; ++r) {
+      embeddings_[static_cast<size_t>(r)] = PprUncached(
+          static_cast<int>(r), /*iterations=*/20, /*restart=*/0.15f);
+    }
+  });
   if (tracked_bytes_ > 0) core::MemTracker::Sub(tracked_bytes_);
   tracked_bytes_ = static_cast<size_t>(num_records) *
                    static_cast<size_t>(num_nodes_) * sizeof(float);

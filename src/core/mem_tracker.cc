@@ -2,20 +2,37 @@
 
 namespace promptem::core {
 
-size_t MemTracker::current_ = 0;
-size_t MemTracker::peak_ = 0;
+std::atomic<size_t> MemTracker::current_{0};
+std::atomic<size_t> MemTracker::peak_{0};
 
 void MemTracker::Add(size_t bytes) {
-  current_ += bytes;
-  if (current_ > peak_) peak_ = current_;
+  const size_t now = current_.fetch_add(bytes, std::memory_order_relaxed) +
+                     bytes;
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now,
+                                      std::memory_order_relaxed)) {
+  }
 }
 
 void MemTracker::Sub(size_t bytes) {
-  current_ = bytes > current_ ? 0 : current_ - bytes;
+  size_t cur = current_.load(std::memory_order_relaxed);
+  size_t next;
+  do {
+    next = bytes > cur ? 0 : cur - bytes;
+  } while (!current_.compare_exchange_weak(cur, next,
+                                           std::memory_order_relaxed));
 }
 
-size_t MemTracker::CurrentBytes() { return current_; }
-size_t MemTracker::PeakBytes() { return peak_; }
-void MemTracker::ResetPeak() { peak_ = current_; }
+size_t MemTracker::CurrentBytes() {
+  return current_.load(std::memory_order_relaxed);
+}
+
+size_t MemTracker::PeakBytes() { return peak_.load(std::memory_order_relaxed); }
+
+void MemTracker::ResetPeak() {
+  peak_.store(current_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+}
 
 }  // namespace promptem::core

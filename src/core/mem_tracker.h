@@ -1,6 +1,7 @@
 #ifndef PROMPTEM_CORE_MEM_TRACKER_H_
 #define PROMPTEM_CORE_MEM_TRACKER_H_
 
+#include <atomic>
 #include <cstddef>
 
 namespace promptem::core {
@@ -10,7 +11,9 @@ namespace promptem::core {
 /// machine-independent "memory usage" numbers for the Table 4 efficiency
 /// benchmark (standing in for the paper's GPU-memory column).
 ///
-/// Not thread-safe; the library is single-threaded by design (one core).
+/// Thread-safe: worker threads allocate per-sample graph tensors
+/// concurrently, so the counters are atomics (the peak is maintained with
+/// a CAS loop).
 class MemTracker {
  public:
   /// Records an allocation of `bytes`.
@@ -29,8 +32,8 @@ class MemTracker {
   static void ResetPeak();
 
  private:
-  static size_t current_;
-  static size_t peak_;
+  static std::atomic<size_t> current_;
+  static std::atomic<size_t> peak_;
 };
 
 /// RAII scope that resets the peak on entry and exposes the peak observed

@@ -32,22 +32,9 @@ void TrainStudentWithPruning(PairClassifier* student,
     std::vector<size_t> order(train_set->size());
     std::iota(order.begin(), order.end(), 0);
     rng.Shuffle(&order);
-    int in_batch = 0;
-    for (size_t idx : order) {
-      const EncodedPair& x = (*train_set)[idx];
-      tensor::Tensor loss = student->Loss(x, x.label, &rng);
-      loss.Backward();
-      ++stats->student_samples;
-      if (++in_batch == config.student_options.batch_size) {
-        optimizer.Step();
-        optimizer.ZeroGrad();
-        in_batch = 0;
-      }
-    }
-    if (in_batch > 0) {
-      optimizer.Step();
-      optimizer.ZeroGrad();
-    }
+    TrainEpochDataParallel(student, *train_set, order,
+                           config.student_options.batch_size, &optimizer,
+                           &rng, &stats->student_samples);
 
     // Dynamic data pruning: drop the N_D least-important samples (lowest
     // MC-EL2N, Eq. 3) every `prune_every` epochs.
@@ -56,12 +43,8 @@ void TrainStudentWithPruning(PairClassifier* student,
       const size_t n_d = static_cast<size_t>(
           config.prune_ratio * static_cast<double>(train_set->size()));
       if (n_d > 0) {
-        std::vector<float> scores(train_set->size());
-        for (size_t i = 0; i < train_set->size(); ++i) {
-          scores[i] = McEl2nScore(student, (*train_set)[i],
-                                  (*train_set)[i].label, config.mc_passes,
-                                  &rng);
-        }
+        const std::vector<float> scores =
+            McEl2nScoreBatch(student, *train_set, config.mc_passes, &rng);
         std::vector<size_t> by_score(train_set->size());
         std::iota(by_score.begin(), by_score.end(), 0);
         std::stable_sort(by_score.begin(), by_score.end(),

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 
+#include "core/thread_pool.h"
 #include "nn/optimizer.h"
+#include "tensor/autograd.h"
 
 namespace promptem::em {
 
@@ -30,13 +33,18 @@ void RestoreParams(nn::Module* module,
 std::vector<int> PredictLabels(PairClassifier* model,
                                const std::vector<EncodedPair>& examples) {
   model->AsModule()->SetTraining(false);
-  core::Rng unused(0);
-  std::vector<int> preds;
-  preds.reserve(examples.size());
-  for (const auto& x : examples) {
-    const auto probs = model->Probs(x, &unused);
-    preds.push_back(probs[1] >= 0.5f ? 1 : 0);
-  }
+  std::vector<int> preds(examples.size());
+  // Eval-mode passes are deterministic and independent: score samples
+  // concurrently, each writing its own slot.
+  core::ParallelFor(0, static_cast<int64_t>(examples.size()), 1,
+                    [&](int64_t begin, int64_t end) {
+    core::Rng unused(0);
+    for (int64_t i = begin; i < end; ++i) {
+      const auto probs = model->Probs(examples[static_cast<size_t>(i)],
+                                      &unused);
+      preds[static_cast<size_t>(i)] = probs[1] >= 0.5f ? 1 : 0;
+    }
+  });
   return preds;
 }
 
@@ -46,6 +54,60 @@ Metrics Evaluate(PairClassifier* model,
   gold.reserve(examples.size());
   for (const auto& x : examples) gold.push_back(x.label);
   return ComputeMetrics(PredictLabels(model, examples), gold);
+}
+
+double TrainEpochDataParallel(PairClassifier* model,
+                              const std::vector<EncodedPair>& train,
+                              const std::vector<size_t>& order,
+                              int batch_size, nn::AdamW* optimizer,
+                              core::Rng* rng, int64_t* samples_trained) {
+  PROMPTEM_CHECK(batch_size >= 1);
+  nn::Module* module = model->AsModule();
+  const std::vector<tensor::Tensor> params = module->Parameters();
+
+  // One gradient shard per minibatch slot, reused across batches. Sample b
+  // of every batch accumulates into shard b; shards merge in slot order.
+  const size_t slots =
+      std::min(static_cast<size_t>(batch_size), order.size());
+  std::vector<std::unique_ptr<tensor::GradShard>> shards;
+  shards.reserve(slots);
+  for (size_t s = 0; s < slots; ++s) {
+    shards.push_back(std::make_unique<tensor::GradShard>(params));
+  }
+
+  double epoch_loss = 0.0;
+  std::vector<uint64_t> seeds(slots);
+  std::vector<float> losses(slots);
+  for (size_t start = 0; start < order.size();
+       start += static_cast<size_t>(batch_size)) {
+    const size_t bsz =
+        std::min(static_cast<size_t>(batch_size), order.size() - start);
+    // Per-sample dropout streams, drawn in batch order so the seeds (and
+    // everything downstream) are independent of the pool size.
+    for (size_t b = 0; b < bsz; ++b) seeds[b] = rng->NextU64();
+    core::ParallelFor(0, static_cast<int64_t>(bsz), 1,
+                      [&](int64_t begin, int64_t end) {
+      for (int64_t b = begin; b < end; ++b) {
+        const size_t slot = static_cast<size_t>(b);
+        tensor::GradShard::Scope scope(shards[slot].get());
+        core::Rng sample_rng(seeds[slot]);
+        const EncodedPair& x = train[order[start + slot]];
+        tensor::Tensor loss = model->Loss(x, x.label, &sample_rng);
+        losses[slot] = loss.item();
+        loss.Backward();
+      }
+    });
+    for (size_t b = 0; b < bsz; ++b) {
+      epoch_loss += losses[b];
+      shards[b]->MergeAndReset();
+    }
+    if (samples_trained != nullptr) {
+      *samples_trained += static_cast<int64_t>(bsz);
+    }
+    optimizer->Step();
+    optimizer->ZeroGrad();
+  }
+  return epoch_loss;
 }
 
 TrainResult TrainClassifier(PairClassifier* model,
@@ -72,24 +134,9 @@ TrainResult TrainClassifier(PairClassifier* model,
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
     module->SetTraining(true);
     rng.Shuffle(&order);
-    double epoch_loss = 0.0;
-    int in_batch = 0;
-    for (size_t idx : order) {
-      const EncodedPair& x = train[idx];
-      tensor::Tensor loss = model->Loss(x, x.label, &rng);
-      epoch_loss += loss.item();
-      loss.Backward();
-      ++result.samples_trained;
-      if (++in_batch == options.batch_size) {
-        optimizer.Step();
-        optimizer.ZeroGrad();
-        in_batch = 0;
-      }
-    }
-    if (in_batch > 0) {
-      optimizer.Step();
-      optimizer.ZeroGrad();
-    }
+    const double epoch_loss = TrainEpochDataParallel(
+        model, train, order, options.batch_size, &optimizer, &rng,
+        &result.samples_trained);
     result.epoch_losses.push_back(
         static_cast<float>(epoch_loss / static_cast<double>(train.size())));
 

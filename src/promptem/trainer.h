@@ -8,6 +8,10 @@
 #include "promptem/encoding.h"
 #include "promptem/metrics.h"
 
+namespace promptem::nn {
+class AdamW;
+}  // namespace promptem::nn
+
 namespace promptem::em {
 
 /// The interface every matcher model implements (PromptEM's prompt model,
@@ -56,6 +60,19 @@ TrainResult TrainClassifier(PairClassifier* model,
                             const std::vector<EncodedPair>& train,
                             const std::vector<EncodedPair>& valid,
                             const TrainOptions& options);
+
+/// One epoch of data-parallel minibatch training over `train[order[...]]`:
+/// each minibatch's samples run forward+Backward concurrently, every
+/// sample under its own GradShard and a per-sample Rng seeded from `rng`
+/// in batch order; shards merge into the shared gradients in sample order
+/// before the optimizer step. Gradients (and therefore weights) are
+/// bitwise identical for any PROMPTEM_NUM_THREADS. Draws batch_size seeds
+/// from `rng` per batch; returns the summed per-sample loss.
+double TrainEpochDataParallel(PairClassifier* model,
+                              const std::vector<EncodedPair>& train,
+                              const std::vector<size_t>& order,
+                              int batch_size, nn::AdamW* optimizer,
+                              core::Rng* rng, int64_t* samples_trained);
 
 /// Evaluates in eval mode (deterministic) against the labels in `examples`.
 Metrics Evaluate(PairClassifier* model,

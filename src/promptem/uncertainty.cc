@@ -1,25 +1,66 @@
 #include "promptem/uncertainty.h"
 
+#include <array>
 #include <cmath>
+
+#include "core/thread_pool.h"
+#include "tensor/autograd.h"
 
 namespace promptem::em {
 
-McEstimate McDropoutEstimate(PairClassifier* model, const EncodedPair& x,
-                             int passes, core::Rng* rng) {
-  PROMPTEM_CHECK(passes >= 1);
-  nn::Module* module = model->AsModule();
-  const bool was_training = module->training();
-  module->SetTraining(true);  // keep dropout stochastic
+namespace {
 
+/// RAII: forces training mode (dropout active) if it is not already on,
+/// restoring the previous mode on destruction. When the mode is already
+/// correct nothing is written, so concurrent scopes over the same module
+/// only read the flag.
+class ScopedTrainingMode {
+ public:
+  explicit ScopedTrainingMode(nn::Module* module)
+      : module_(module), was_training_(module->training()) {
+    if (!was_training_) module_->SetTraining(true);
+  }
+  ~ScopedTrainingMode() {
+    if (!was_training_) module_->SetTraining(false);
+  }
+
+ private:
+  nn::Module* module_;
+  bool was_training_;
+};
+
+/// The stochastic core: K dropout passes of P over one sample, pass i
+/// seeded from the i-th draw of Rng(base_seed). Passes are independent, so
+/// they fan out across the pool (inline when already inside a sample-level
+/// parallel region); the returned probabilities are in pass order either
+/// way. Assumes training mode is already on.
+std::vector<std::array<float, 2>> RunMcPasses(PairClassifier* model,
+                                              const EncodedPair& x,
+                                              int passes,
+                                              uint64_t base_seed) {
+  std::vector<uint64_t> seeds(static_cast<size_t>(passes));
+  core::Rng seeder(base_seed);
+  for (auto& s : seeds) s = seeder.NextU64();
+  std::vector<std::array<float, 2>> probs(static_cast<size_t>(passes));
+  core::ParallelFor(0, passes, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      tensor::NoGradGuard no_grad;
+      core::Rng pass_rng(seeds[static_cast<size_t>(i)]);
+      probs[static_cast<size_t>(i)] = model->Probs(x, &pass_rng);
+    }
+  });
+  return probs;
+}
+
+McEstimate EstimateFromPasses(
+    const std::vector<std::array<float, 2>>& probs) {
   double sum = 0.0;
   double sum_sq = 0.0;
-  for (int i = 0; i < passes; ++i) {
-    const float p = model->Probs(x, rng)[1];
-    sum += p;
-    sum_sq += static_cast<double>(p) * p;
+  for (const auto& p : probs) {
+    sum += p[1];
+    sum_sq += static_cast<double>(p[1]) * p[1];
   }
-  module->SetTraining(was_training);
-
+  const auto passes = static_cast<double>(probs.size());
   McEstimate est;
   const double mean = sum / passes;
   const double var = std::max(0.0, sum_sq / passes - mean * mean);
@@ -30,24 +71,72 @@ McEstimate McDropoutEstimate(PairClassifier* model, const EncodedPair& x,
   return est;
 }
 
+float El2nFromPasses(const std::vector<std::array<float, 2>>& probs,
+                     int label) {
+  double total = 0.0;
+  for (const auto& p : probs) {
+    const float d0 = p[0] - (label == 0 ? 1.0f : 0.0f);
+    const float d1 = p[1] - (label == 1 ? 1.0f : 0.0f);
+    total += std::sqrt(static_cast<double>(d0) * d0 +
+                       static_cast<double>(d1) * d1);
+  }
+  return static_cast<float>(total / static_cast<double>(probs.size()));
+}
+
+}  // namespace
+
+McEstimate McDropoutEstimate(PairClassifier* model, const EncodedPair& x,
+                             int passes, core::Rng* rng) {
+  PROMPTEM_CHECK(passes >= 1);
+  ScopedTrainingMode training(model->AsModule());
+  return EstimateFromPasses(RunMcPasses(model, x, passes, rng->NextU64()));
+}
+
 float McEl2nScore(PairClassifier* model, const EncodedPair& x, int label,
                   int passes, core::Rng* rng) {
   PROMPTEM_CHECK(passes >= 1);
   PROMPTEM_CHECK(label == 0 || label == 1);
-  nn::Module* module = model->AsModule();
-  const bool was_training = module->training();
-  module->SetTraining(true);
+  ScopedTrainingMode training(model->AsModule());
+  return El2nFromPasses(RunMcPasses(model, x, passes, rng->NextU64()),
+                        label);
+}
 
-  double total = 0.0;
-  for (int i = 0; i < passes; ++i) {
-    const auto probs = model->Probs(x, rng);
-    const float d0 = probs[0] - (label == 0 ? 1.0f : 0.0f);
-    const float d1 = probs[1] - (label == 1 ? 1.0f : 0.0f);
-    total += std::sqrt(static_cast<double>(d0) * d0 +
-                       static_cast<double>(d1) * d1);
-  }
-  module->SetTraining(was_training);
-  return static_cast<float>(total / passes);
+std::vector<McEstimate> McDropoutEstimateBatch(
+    PairClassifier* model, const std::vector<EncodedPair>& xs, int passes,
+    core::Rng* rng) {
+  PROMPTEM_CHECK(passes >= 1);
+  ScopedTrainingMode training(model->AsModule());
+  std::vector<uint64_t> seeds(xs.size());
+  for (auto& s : seeds) s = rng->NextU64();
+  std::vector<McEstimate> estimates(xs.size());
+  core::ParallelFor(0, static_cast<int64_t>(xs.size()), 1,
+                    [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const size_t idx = static_cast<size_t>(i);
+      estimates[idx] = EstimateFromPasses(
+          RunMcPasses(model, xs[idx], passes, seeds[idx]));
+    }
+  });
+  return estimates;
+}
+
+std::vector<float> McEl2nScoreBatch(PairClassifier* model,
+                                    const std::vector<EncodedPair>& xs,
+                                    int passes, core::Rng* rng) {
+  PROMPTEM_CHECK(passes >= 1);
+  ScopedTrainingMode training(model->AsModule());
+  std::vector<uint64_t> seeds(xs.size());
+  for (auto& s : seeds) s = rng->NextU64();
+  std::vector<float> scores(xs.size());
+  core::ParallelFor(0, static_cast<int64_t>(xs.size()), 1,
+                    [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const size_t idx = static_cast<size_t>(i);
+      scores[idx] = El2nFromPasses(
+          RunMcPasses(model, xs[idx], passes, seeds[idx]), xs[idx].label);
+    }
+  });
+  return scores;
 }
 
 }  // namespace promptem::em

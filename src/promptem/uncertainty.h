@@ -1,6 +1,8 @@
 #ifndef PROMPTEM_PROMPTEM_UNCERTAINTY_H_
 #define PROMPTEM_PROMPTEM_UNCERTAINTY_H_
 
+#include <vector>
+
 #include "promptem/trainer.h"
 
 namespace promptem::em {
@@ -17,6 +19,11 @@ struct McEstimate {
 /// Runs `passes` stochastic passes (temporarily forcing training mode so
 /// dropout stays active) and returns mean/std statistics. The model's
 /// train/eval mode is restored afterwards.
+///
+/// The passes run concurrently on the thread pool: each pass gets its own
+/// core::Rng stream derived from one seed drawn from `rng`, runs under
+/// NoGradGuard, and the per-pass probabilities are reduced in pass order —
+/// so the estimate is bitwise identical for any PROMPTEM_NUM_THREADS.
 McEstimate McDropoutEstimate(PairClassifier* model, const EncodedPair& x,
                              int passes, core::Rng* rng);
 
@@ -24,6 +31,20 @@ McEstimate McDropoutEstimate(PairClassifier* model, const EncodedPair& x,
 /// Low scores mark easy/useless training samples, pruned by DDP.
 float McEl2nScore(PairClassifier* model, const EncodedPair& x, int label,
                   int passes, core::Rng* rng);
+
+/// Batch variants: estimates every sample, parallelized across samples
+/// (per-sample seeds drawn from `rng` in input order; a sample's passes
+/// then run inline inside its worker). Equivalent to calling the
+/// single-sample functions in a loop — same seed derivation, same
+/// reduction order — just faster.
+std::vector<McEstimate> McDropoutEstimateBatch(
+    PairClassifier* model, const std::vector<EncodedPair>& xs, int passes,
+    core::Rng* rng);
+
+/// Batch MC-EL2N against each sample's own EncodedPair::label.
+std::vector<float> McEl2nScoreBatch(PairClassifier* model,
+                                    const std::vector<EncodedPair>& xs,
+                                    int passes, core::Rng* rng);
 
 }  // namespace promptem::em
 

@@ -3,19 +3,67 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/mem_tracker.h"
+
 namespace promptem::tensor {
 
 namespace {
-bool g_grad_enabled = true;
+thread_local bool t_grad_enabled = true;
+thread_local GradShard* t_grad_shard = nullptr;
 }  // namespace
 
-bool GradEnabled() { return g_grad_enabled; }
+bool GradEnabled() { return t_grad_enabled; }
 
-NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
-  g_grad_enabled = false;
+NoGradGuard::NoGradGuard() : previous_(t_grad_enabled) {
+  t_grad_enabled = false;
 }
 
-NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+NoGradGuard::~NoGradGuard() { t_grad_enabled = previous_; }
+
+namespace internal {
+float* ShardGradLookup(TensorImpl* impl) {
+  return t_grad_shard == nullptr ? nullptr : t_grad_shard->Lookup(impl);
+}
+}  // namespace internal
+
+GradShard::GradShard(const std::vector<Tensor>& targets)
+    : targets_(targets) {
+  buffers_.reserve(targets_.size());
+  by_impl_.reserve(targets_.size());
+  for (const Tensor& t : targets_) {
+    PROMPTEM_CHECK(t.defined());
+    buffers_.emplace_back(static_cast<size_t>(t.numel()), 0.0f);
+    by_impl_[t.impl().get()] = buffers_.back().data();
+    tracked_bytes_ += static_cast<size_t>(t.numel()) * sizeof(float);
+  }
+  core::MemTracker::Add(tracked_bytes_);
+}
+
+GradShard::~GradShard() { core::MemTracker::Sub(tracked_bytes_); }
+
+void GradShard::MergeAndReset() {
+  PROMPTEM_CHECK_MSG(t_grad_shard != this,
+                     "MergeAndReset under this shard's own Scope");
+  for (size_t i = 0; i < targets_.size(); ++i) {
+    std::vector<float>& local = buffers_[i];
+    targets_[i].impl()->EnsureGrad();
+    float* shared = targets_[i].impl()->grad_data();
+    for (size_t j = 0; j < local.size(); ++j) {
+      shared[j] += local[j];
+      local[j] = 0.0f;
+    }
+  }
+}
+
+void GradShard::Reset() {
+  for (auto& buf : buffers_) std::fill(buf.begin(), buf.end(), 0.0f);
+}
+
+GradShard::Scope::Scope(GradShard* shard) : previous_(t_grad_shard) {
+  t_grad_shard = shard;
+}
+
+GradShard::Scope::~Scope() { t_grad_shard = previous_; }
 
 void RunBackward(const Tensor& root) {
   PROMPTEM_CHECK(root.defined());
@@ -52,7 +100,7 @@ void RunBackward(const Tensor& root) {
 
   // Seed d(root)/d(root) = 1.
   root_impl->EnsureGrad();
-  root_impl->grad->data()[0] += 1.0f;
+  root_impl->grad_data()[0] += 1.0f;
 
   // topo is post-order: parents before children; walk children-first.
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {

@@ -1,9 +1,19 @@
 #ifndef PROMPTEM_TENSOR_AUTOGRAD_H_
 #define PROMPTEM_TENSOR_AUTOGRAD_H_
 
+#include <unordered_map>
+#include <vector>
+
 #include "tensor/tensor.h"
 
 namespace promptem::tensor {
+
+namespace internal {
+/// The redirected accumulation buffer for `impl` on this thread, or
+/// nullptr when no GradShard scope is installed / the shard does not cover
+/// `impl`. Used by TensorImpl::EnsureGrad / grad_data.
+float* ShardGradLookup(TensorImpl* impl);
+}  // namespace internal
 
 /// Runs reverse-mode differentiation from `root`, which must be a scalar
 /// (numel == 1). Seeds root.grad = 1, visits the graph in reverse
@@ -11,13 +21,18 @@ namespace promptem::tensor {
 /// Gradients accumulate (+=) into every tensor with requires_grad on the
 /// path, so calling Backward for several per-sample losses before an
 /// optimizer step sums their gradients — this is how minibatches are formed.
+/// Under data-parallel accumulation each sample's Backward runs with a
+/// GradShard installed, and the shards are merged in sample order, so the
+/// "sum of per-sample losses" contract is preserved deterministically.
 void RunBackward(const Tensor& root);
 
-/// True while a NoGradGuard is alive; ops skip building graph edges.
+/// True while a NoGradGuard is alive on the *current thread*; ops skip
+/// building graph edges. The flag is thread-local so concurrent MC-Dropout
+/// scoring passes can disable graph construction independently.
 bool GradEnabled();
 
 /// RAII scope that disables graph construction (inference / MC-Dropout
-/// scoring passes), cutting memory and time.
+/// scoring passes) on the current thread, cutting memory and time.
 class NoGradGuard {
  public:
   NoGradGuard();
@@ -28,6 +43,62 @@ class NoGradGuard {
 
  private:
   bool previous_;
+};
+
+/// A private gradient accumulation buffer for a fixed set of tensors
+/// (typically a module's parameters). While a shard's Scope is installed
+/// on a thread, backward closures on that thread accumulate the covered
+/// tensors' gradients into the shard instead of the shared grad storage —
+/// uncovered tensors (per-sample intermediates) are unaffected.
+///
+/// Data-parallel minibatch recipe: one shard per sample slot, each sample's
+/// forward+Backward runs under its slot's Scope on some worker, then the
+/// main thread merges shard 0..B-1 into the shared parameter grads in slot
+/// order. Because the per-slot sums and the merge order are independent of
+/// the pool size, the accumulated gradients are bitwise identical for any
+/// PROMPTEM_NUM_THREADS.
+class GradShard {
+ public:
+  /// Allocates zeroed buffers covering `targets` (buffer i matches
+  /// targets[i].numel()).
+  explicit GradShard(const std::vector<Tensor>& targets);
+  ~GradShard();
+
+  GradShard(const GradShard&) = delete;
+  GradShard& operator=(const GradShard&) = delete;
+
+  /// Adds this shard's buffers into the targets' shared grads (allocating
+  /// them if needed) in target order, then zeroes the shard for reuse.
+  /// Call on a thread with no Scope installed.
+  void MergeAndReset();
+
+  /// Zeroes the shard's buffers without merging.
+  void Reset();
+
+  /// Installs the shard as the current thread's gradient sink.
+  class Scope {
+   public:
+    explicit Scope(GradShard* shard);
+    ~Scope();
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    GradShard* previous_;
+  };
+
+  /// This shard's buffer for `impl`, or nullptr when not covered.
+  float* Lookup(TensorImpl* impl) const {
+    auto it = by_impl_.find(impl);
+    return it == by_impl_.end() ? nullptr : it->second;
+  }
+
+ private:
+  std::vector<Tensor> targets_;
+  std::vector<std::vector<float>> buffers_;
+  std::unordered_map<TensorImpl*, float*> by_impl_;
+  size_t tracked_bytes_ = 0;
 };
 
 }  // namespace promptem::tensor

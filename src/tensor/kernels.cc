@@ -2,148 +2,371 @@
 
 #include <cmath>
 #include <algorithm>
+#include <vector>
+
+#include "core/thread_pool.h"
 
 namespace promptem::tensor::kernels {
 
+namespace {
+
+// Blocking constants. kKc is the k-panel depth (A/B panel rows stay in
+// cache while a C block accumulates); kMr x kNr is the register microtile.
+// The chunk decomposition of every parallel loop below is a pure function
+// of the problem shape and these constants — never of the pool size — so
+// results are bitwise identical for any PROMPTEM_NUM_THREADS.
+constexpr int kKc = 256;
+constexpr int kMr = 4;
+constexpr int kNr = 16;
+
+/// Row-chunk grain for the parallel outer M loop.
+constexpr int64_t kGemmRowGrain = 16;
+/// Below this many multiply-adds a GEMM runs single-chunk: dispatch
+/// overhead would dominate (typical per-sample transformer GEMMs).
+constexpr int64_t kGemmParallelThreshold = 1 << 19;
+/// Row grain / minimum element count for the parallel row-wise kernels.
+constexpr int64_t kRowGrain = 32;
+constexpr int64_t kRowParallelThreshold = 1 << 14;
+
+/// Scales or clears rows [i0, i1) of C by beta.
+void ScaleRows(float* c, int i0, int i1, int n, float beta) {
+  float* begin = c + static_cast<int64_t>(i0) * n;
+  const int64_t count = static_cast<int64_t>(i1 - i0) * n;
+  if (beta == 0.0f) {
+    std::fill_n(begin, count, 0.0f);
+  } else if (beta != 1.0f) {
+    for (int64_t i = 0; i < count; ++i) begin[i] *= beta;
+  }
+}
+
+/// C[i0:i1, :] += alpha * A[i0:i1, :] * B for row-major A (m x k) and
+/// B (k x n). Cache-tiled over k (kKc panels) with a kMr x kNr
+/// register-blocked microkernel; per (i, j) the k sum is grouped by panel,
+/// independent of the row chunking.
+void GemmNNChunk(int i0, int i1, int n, int k, float alpha, const float* a,
+                 const float* b, float* c) {
+  for (int pc = 0; pc < k; pc += kKc) {
+    const int pe = std::min(k, pc + kKc);
+    int i = i0;
+    for (; i + kMr <= i1; i += kMr) {
+      const float* a0 = a + static_cast<int64_t>(i) * k;
+      const float* a1 = a0 + k;
+      const float* a2 = a1 + k;
+      const float* a3 = a2 + k;
+      int j = 0;
+      for (; j + kNr <= n; j += kNr) {
+        float acc0[kNr] = {0};
+        float acc1[kNr] = {0};
+        float acc2[kNr] = {0};
+        float acc3[kNr] = {0};
+        for (int p = pc; p < pe; ++p) {
+          const float* bp = b + static_cast<int64_t>(p) * n + j;
+          const float v0 = a0[p];
+          const float v1 = a1[p];
+          const float v2 = a2[p];
+          const float v3 = a3[p];
+          for (int jj = 0; jj < kNr; ++jj) {
+            const float bv = bp[jj];
+            acc0[jj] += v0 * bv;
+            acc1[jj] += v1 * bv;
+            acc2[jj] += v2 * bv;
+            acc3[jj] += v3 * bv;
+          }
+        }
+        float* c0 = c + static_cast<int64_t>(i) * n + j;
+        float* c1 = c0 + n;
+        float* c2 = c1 + n;
+        float* c3 = c2 + n;
+        for (int jj = 0; jj < kNr; ++jj) {
+          c0[jj] += alpha * acc0[jj];
+          c1[jj] += alpha * acc1[jj];
+          c2[jj] += alpha * acc2[jj];
+          c3[jj] += alpha * acc3[jj];
+        }
+      }
+      // Ragged j tail.
+      for (; j < n; ++j) {
+        float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+        for (int p = pc; p < pe; ++p) {
+          const float bv = b[static_cast<int64_t>(p) * n + j];
+          s0 += a0[p] * bv;
+          s1 += a1[p] * bv;
+          s2 += a2[p] * bv;
+          s3 += a3[p] * bv;
+        }
+        c[static_cast<int64_t>(i) * n + j] += alpha * s0;
+        c[static_cast<int64_t>(i + 1) * n + j] += alpha * s1;
+        c[static_cast<int64_t>(i + 2) * n + j] += alpha * s2;
+        c[static_cast<int64_t>(i + 3) * n + j] += alpha * s3;
+      }
+    }
+    // Ragged row tail: one row at a time, same panel structure.
+    for (; i < i1; ++i) {
+      const float* arow = a + static_cast<int64_t>(i) * k;
+      float* crow = c + static_cast<int64_t>(i) * n;
+      int j = 0;
+      for (; j + kNr <= n; j += kNr) {
+        float acc[kNr] = {0};
+        for (int p = pc; p < pe; ++p) {
+          const float* bp = b + static_cast<int64_t>(p) * n + j;
+          const float av = arow[p];
+          for (int jj = 0; jj < kNr; ++jj) acc[jj] += av * bp[jj];
+        }
+        for (int jj = 0; jj < kNr; ++jj) crow[j + jj] += alpha * acc[jj];
+      }
+      for (; j < n; ++j) {
+        float s = 0.0f;
+        for (int p = pc; p < pe; ++p) {
+          s += arow[p] * b[static_cast<int64_t>(p) * n + j];
+        }
+        crow[j] += alpha * s;
+      }
+    }
+  }
+}
+
+/// C[i0:i1, :] += alpha * A[i0:i1, :] * B^T for row-major A (m x k) and
+/// B stored (n x k): rows of dot products, 2 x 4 register blocking so the
+/// k loop carries eight independent accumulator chains.
+void GemmNTChunk(int i0, int i1, int n, int k, float alpha, const float* a,
+                 const float* b, float* c) {
+  int i = i0;
+  for (; i + 2 <= i1; i += 2) {
+    const float* a0 = a + static_cast<int64_t>(i) * k;
+    const float* a1 = a0 + k;
+    float* c0 = c + static_cast<int64_t>(i) * n;
+    float* c1 = c0 + n;
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + static_cast<int64_t>(j) * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      float s00 = 0.0f, s01 = 0.0f, s02 = 0.0f, s03 = 0.0f;
+      float s10 = 0.0f, s11 = 0.0f, s12 = 0.0f, s13 = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        const float v0 = a0[p];
+        const float v1 = a1[p];
+        s00 += v0 * b0[p];
+        s01 += v0 * b1[p];
+        s02 += v0 * b2[p];
+        s03 += v0 * b3[p];
+        s10 += v1 * b0[p];
+        s11 += v1 * b1[p];
+        s12 += v1 * b2[p];
+        s13 += v1 * b3[p];
+      }
+      c0[j] += alpha * s00;
+      c0[j + 1] += alpha * s01;
+      c0[j + 2] += alpha * s02;
+      c0[j + 3] += alpha * s03;
+      c1[j] += alpha * s10;
+      c1[j + 1] += alpha * s11;
+      c1[j + 2] += alpha * s12;
+      c1[j + 3] += alpha * s13;
+    }
+    for (; j < n; ++j) {
+      const float* bj = b + static_cast<int64_t>(j) * k;
+      float s0 = 0.0f, s1 = 0.0f;
+      for (int p = 0; p < k; ++p) {
+        s0 += a0[p] * bj[p];
+        s1 += a1[p] * bj[p];
+      }
+      c0[j] += alpha * s0;
+      c1[j] += alpha * s1;
+    }
+  }
+  for (; i < i1; ++i) {
+    const float* arow = a + static_cast<int64_t>(i) * k;
+    float* crow = c + static_cast<int64_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* bj = b + static_cast<int64_t>(j) * k;
+      float s = 0.0f;
+      for (int p = 0; p < k; ++p) s += arow[p] * bj[p];
+      crow[j] += alpha * s;
+    }
+  }
+}
+
+/// C[i0:i1, :] += alpha * A^T[i0:i1, :] * B for A stored (k x m) and
+/// B (k x n). p-outer form: for each p, A's row p is unit-stride over i
+/// and B's row p is broadcast across the chunk's C rows.
+void GemmTNChunk(int i0, int i1, int n, int k, int m, float alpha,
+                 const float* a, const float* b, float* c) {
+  for (int p = 0; p < k; ++p) {
+    const float* ap = a + static_cast<int64_t>(p) * m;
+    const float* bp = b + static_cast<int64_t>(p) * n;
+    for (int i = i0; i < i1; ++i) {
+      const float av = alpha * ap[i];
+      float* crow = c + static_cast<int64_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * bp[j];
+    }
+  }
+}
+
+/// C[i0:i1, :] += alpha * A^T * B^T: generic indexed loop (backward-only
+/// combination on small matrices).
+void GemmTTChunk(int i0, int i1, int n, int k, int m, float alpha,
+                 const float* a, const float* b, float* c) {
+  for (int i = i0; i < i1; ++i) {
+    float* crow = c + static_cast<int64_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = alpha * a[static_cast<int64_t>(p) * m + i];
+      for (int j = 0; j < n; ++j) {
+        crow[j] += av * b[static_cast<int64_t>(j) * k + p];
+      }
+    }
+  }
+}
+
+}  // namespace
+
 void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
           const float* a, const float* b, float beta, float* c) {
-  // Scale or clear C first.
-  const int64_t total = static_cast<int64_t>(m) * n;
-  if (beta == 0.0f) {
-    std::fill_n(c, total, 0.0f);
-  } else if (beta != 1.0f) {
-    for (int64_t i = 0; i < total; ++i) c[i] *= beta;
-  }
-  // Element accessors respecting storage layout.
-  // a_elem(i, p) = op(A)[i, p]; b_elem(p, j) = op(B)[p, j].
-  auto a_idx = [&](int i, int p) -> int64_t {
-    return trans_a ? static_cast<int64_t>(p) * m + i
-                   : static_cast<int64_t>(i) * k + p;
-  };
-  auto b_idx = [&](int p, int j) -> int64_t {
-    return trans_b ? static_cast<int64_t>(j) * k + p
-                   : static_cast<int64_t>(p) * n + j;
-  };
-  if (!trans_a && !trans_b) {
-    // i-k-j loop order: unit-stride access of B and C inner loops.
-    for (int i = 0; i < m; ++i) {
-      const float* arow = a + static_cast<int64_t>(i) * k;
-      float* crow = c + static_cast<int64_t>(i) * n;
-      for (int p = 0; p < k; ++p) {
-        const float av = alpha * arow[p];
-        if (av == 0.0f) continue;
-        const float* brow = b + static_cast<int64_t>(p) * n;
-        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
+  const int64_t work = static_cast<int64_t>(m) * n * k;
+  const int64_t grain =
+      work >= kGemmParallelThreshold ? kGemmRowGrain : static_cast<int64_t>(m);
+  core::ParallelFor(0, m, std::max<int64_t>(grain, 1),
+                    [&](int64_t begin, int64_t end) {
+    const int i0 = static_cast<int>(begin);
+    const int i1 = static_cast<int>(end);
+    ScaleRows(c, i0, i1, n, beta);
+    if (!trans_a && !trans_b) {
+      GemmNNChunk(i0, i1, n, k, alpha, a, b, c);
+    } else if (!trans_a && trans_b) {
+      GemmNTChunk(i0, i1, n, k, alpha, a, b, c);
+    } else if (trans_a && !trans_b) {
+      GemmTNChunk(i0, i1, n, k, m, alpha, a, b, c);
+    } else {
+      GemmTTChunk(i0, i1, n, k, m, alpha, a, b, c);
     }
-    return;
-  }
-  if (!trans_a && trans_b) {
-    // C[i,j] = sum_p A[i,p] * B[j,p]: both unit stride (dot products).
-    for (int i = 0; i < m; ++i) {
-      const float* arow = a + static_cast<int64_t>(i) * k;
-      float* crow = c + static_cast<int64_t>(i) * n;
-      for (int j = 0; j < n; ++j) {
-        const float* brow = b + static_cast<int64_t>(j) * k;
-        float acc = 0.0f;
-        for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
-        crow[j] += alpha * acc;
-      }
-    }
-    return;
-  }
-  // Remaining transpose combinations: generic indexed loop (used on the
-  // backward paths; matrices are small).
-  for (int i = 0; i < m; ++i) {
-    for (int p = 0; p < k; ++p) {
-      const float av = alpha * a[a_idx(i, p)];
-      if (av == 0.0f) continue;
-      float* crow = c + static_cast<int64_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * b[b_idx(p, j)];
-    }
-  }
+  });
 }
 
 void SoftmaxRows(const float* x, int rows, int cols, float* out) {
-  for (int i = 0; i < rows; ++i) {
-    const float* xi = x + static_cast<int64_t>(i) * cols;
-    float* oi = out + static_cast<int64_t>(i) * cols;
-    float mx = xi[0];
-    for (int j = 1; j < cols; ++j) mx = std::max(mx, xi[j]);
-    float sum = 0.0f;
-    for (int j = 0; j < cols; ++j) {
-      oi[j] = std::exp(xi[j] - mx);
-      sum += oi[j];
+  const int64_t grain =
+      static_cast<int64_t>(rows) * cols >= kRowParallelThreshold
+          ? kRowGrain
+          : static_cast<int64_t>(rows);
+  core::ParallelFor(0, rows, std::max<int64_t>(grain, 1),
+                    [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const float* xi = x + i * cols;
+      float* oi = out + i * cols;
+      float mx = xi[0];
+      for (int j = 1; j < cols; ++j) mx = std::max(mx, xi[j]);
+      float sum = 0.0f;
+      for (int j = 0; j < cols; ++j) {
+        oi[j] = std::exp(xi[j] - mx);
+        sum += oi[j];
+      }
+      const float inv = 1.0f / sum;
+      for (int j = 0; j < cols; ++j) oi[j] *= inv;
     }
-    const float inv = 1.0f / sum;
-    for (int j = 0; j < cols; ++j) oi[j] *= inv;
-  }
+  });
 }
 
 void LogSoftmaxRows(const float* x, int rows, int cols, float* out) {
-  for (int i = 0; i < rows; ++i) {
-    const float* xi = x + static_cast<int64_t>(i) * cols;
-    float* oi = out + static_cast<int64_t>(i) * cols;
-    float mx = xi[0];
-    for (int j = 1; j < cols; ++j) mx = std::max(mx, xi[j]);
-    float sum = 0.0f;
-    for (int j = 0; j < cols; ++j) sum += std::exp(xi[j] - mx);
-    const float lse = mx + std::log(sum);
-    for (int j = 0; j < cols; ++j) oi[j] = xi[j] - lse;
-  }
+  const int64_t grain =
+      static_cast<int64_t>(rows) * cols >= kRowParallelThreshold
+          ? kRowGrain
+          : static_cast<int64_t>(rows);
+  core::ParallelFor(0, rows, std::max<int64_t>(grain, 1),
+                    [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const float* xi = x + i * cols;
+      float* oi = out + i * cols;
+      float mx = xi[0];
+      for (int j = 1; j < cols; ++j) mx = std::max(mx, xi[j]);
+      float sum = 0.0f;
+      for (int j = 0; j < cols; ++j) sum += std::exp(xi[j] - mx);
+      const float lse = mx + std::log(sum);
+      for (int j = 0; j < cols; ++j) oi[j] = xi[j] - lse;
+    }
+  });
 }
 
 void LayerNormForward(const float* x, int rows, int cols, const float* gamma,
                       const float* beta, float eps, float* out, float* mean,
                       float* rstd) {
-  for (int i = 0; i < rows; ++i) {
-    const float* xi = x + static_cast<int64_t>(i) * cols;
-    float* oi = out + static_cast<int64_t>(i) * cols;
-    float mu = 0.0f;
-    for (int j = 0; j < cols; ++j) mu += xi[j];
-    mu /= static_cast<float>(cols);
-    float var = 0.0f;
-    for (int j = 0; j < cols; ++j) {
-      const float d = xi[j] - mu;
-      var += d * d;
+  const int64_t grain =
+      static_cast<int64_t>(rows) * cols >= kRowParallelThreshold
+          ? kRowGrain
+          : static_cast<int64_t>(rows);
+  core::ParallelFor(0, rows, std::max<int64_t>(grain, 1),
+                    [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      const float* xi = x + i * cols;
+      float* oi = out + i * cols;
+      float mu = 0.0f;
+      for (int j = 0; j < cols; ++j) mu += xi[j];
+      mu /= static_cast<float>(cols);
+      float var = 0.0f;
+      for (int j = 0; j < cols; ++j) {
+        const float d = xi[j] - mu;
+        var += d * d;
+      }
+      var /= static_cast<float>(cols);
+      const float rs = 1.0f / std::sqrt(var + eps);
+      mean[i] = mu;
+      rstd[i] = rs;
+      for (int j = 0; j < cols; ++j) {
+        oi[j] = gamma[j] * (xi[j] - mu) * rs + beta[j];
+      }
     }
-    var /= static_cast<float>(cols);
-    const float rs = 1.0f / std::sqrt(var + eps);
-    mean[i] = mu;
-    rstd[i] = rs;
-    for (int j = 0; j < cols; ++j) {
-      oi[j] = gamma[j] * (xi[j] - mu) * rs + beta[j];
-    }
-  }
+  });
 }
 
 void LayerNormBackward(const float* x, const float* gamma, const float* mean,
                        const float* rstd, const float* dout, int rows,
                        int cols, float* dx, float* dgamma, float* dbeta) {
-  for (int i = 0; i < rows; ++i) {
-    const float* xi = x + static_cast<int64_t>(i) * cols;
-    const float* doi = dout + static_cast<int64_t>(i) * cols;
-    float* dxi = dx + static_cast<int64_t>(i) * cols;
-    const float mu = mean[i];
-    const float rs = rstd[i];
-    // dL/dxhat_j = dout_j * gamma_j; with xhat = (x - mu) * rs:
-    // dx = rs * (dxhat - mean(dxhat) - xhat * mean(dxhat * xhat)).
-    float sum_dxhat = 0.0f;
-    float sum_dxhat_xhat = 0.0f;
-    for (int j = 0; j < cols; ++j) {
-      const float xhat = (xi[j] - mu) * rs;
-      const float dxhat = doi[j] * gamma[j];
-      sum_dxhat += dxhat;
-      sum_dxhat_xhat += dxhat * xhat;
-      dgamma[j] += doi[j] * xhat;
-      dbeta[j] += doi[j];
+  // dgamma/dbeta reduce across rows: each chunk accumulates into its own
+  // slice of `partial`, merged below in chunk order, so the sum grouping
+  // depends only on the fixed grain — bitwise identical for any pool size.
+  const int64_t grain =
+      static_cast<int64_t>(rows) * cols >= kRowParallelThreshold
+          ? kRowGrain
+          : static_cast<int64_t>(rows);
+  const int64_t g = std::max<int64_t>(grain, 1);
+  const int64_t chunks = (static_cast<int64_t>(rows) + g - 1) / g;
+  std::vector<float> partial(static_cast<size_t>(chunks) * 2 * cols, 0.0f);
+  core::ParallelFor(0, rows, g, [&](int64_t begin, int64_t end) {
+    const int64_t chunk = begin / g;
+    float* dgamma_c = partial.data() + chunk * 2 * cols;
+    float* dbeta_c = dgamma_c + cols;
+    for (int64_t i = begin; i < end; ++i) {
+      const float* xi = x + i * cols;
+      const float* doi = dout + i * cols;
+      float* dxi = dx + i * cols;
+      const float mu = mean[i];
+      const float rs = rstd[i];
+      // dL/dxhat_j = dout_j * gamma_j; with xhat = (x - mu) * rs:
+      // dx = rs * (dxhat - mean(dxhat) - xhat * mean(dxhat * xhat)).
+      float sum_dxhat = 0.0f;
+      float sum_dxhat_xhat = 0.0f;
+      for (int j = 0; j < cols; ++j) {
+        const float xhat = (xi[j] - mu) * rs;
+        const float dxhat = doi[j] * gamma[j];
+        sum_dxhat += dxhat;
+        sum_dxhat_xhat += dxhat * xhat;
+        dgamma_c[j] += doi[j] * xhat;
+        dbeta_c[j] += doi[j];
+      }
+      const float inv_cols = 1.0f / static_cast<float>(cols);
+      for (int j = 0; j < cols; ++j) {
+        const float xhat = (xi[j] - mu) * rs;
+        const float dxhat = doi[j] * gamma[j];
+        dxi[j] += rs * (dxhat - inv_cols * sum_dxhat -
+                        xhat * inv_cols * sum_dxhat_xhat);
+      }
     }
-    const float inv_cols = 1.0f / static_cast<float>(cols);
+  });
+  for (int64_t chunk = 0; chunk < chunks; ++chunk) {
+    const float* dgamma_c = partial.data() + chunk * 2 * cols;
+    const float* dbeta_c = dgamma_c + cols;
     for (int j = 0; j < cols; ++j) {
-      const float xhat = (xi[j] - mu) * rs;
-      const float dxhat = doi[j] * gamma[j];
-      dxi[j] += rs * (dxhat - inv_cols * sum_dxhat -
-                      xhat * inv_cols * sum_dxhat_xhat);
+      dgamma[j] += dgamma_c[j];
+      dbeta[j] += dbeta_c[j];
     }
   }
 }

@@ -9,12 +9,17 @@ namespace promptem::tensor::kernels {
 /// op is optional transposition. op(A) is m x k, op(B) is k x n, C is m x n.
 /// A and B are row-major with their *stored* (pre-transpose) layouts:
 /// A is (m x k) when !trans_a, else (k x m); likewise for B.
-/// Single-threaded, cache-blocked on the k loop.
+/// Cache-tiled (k panels) with a register-blocked microkernel; the outer
+/// M loop is sharded across the core thread pool for large problems. The
+/// k-summation grouping is a pure function of the shape, so results are
+/// bitwise identical for any PROMPTEM_NUM_THREADS.
+/// NaN/Inf propagate from both operands (no data-dependent skipping).
 void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
           const float* a, const float* b, float beta, float* c);
 
 /// Row-wise softmax with max subtraction: out[i,:] = softmax(x[i,:]).
-/// x and out may alias.
+/// x and out may alias. Rows are independent and sharded across the pool
+/// for large inputs (as are LogSoftmaxRows and LayerNormForward below).
 void SoftmaxRows(const float* x, int rows, int cols, float* out);
 
 /// Row-wise log-softmax. x and out may alias.
@@ -28,6 +33,9 @@ void LayerNormForward(const float* x, int rows, int cols, const float* gamma,
                       float* rstd);
 
 /// Backward of LayerNormForward. Accumulates (+=) into dx, dgamma, dbeta.
+/// The dgamma/dbeta cross-row reductions go through per-chunk buffers
+/// merged in fixed chunk order, keeping results bitwise deterministic
+/// under parallel execution.
 void LayerNormBackward(const float* x, const float* gamma, const float* mean,
                        const float* rstd, const float* dout, int rows,
                        int cols, float* dx, float* dgamma, float* dbeta);

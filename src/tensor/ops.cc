@@ -43,14 +43,14 @@ Tensor Add(const Tensor& a, const Tensor& b) {
     auto bi = b.impl();
     TensorImpl* oi = out.impl().get();
     Attach(&out, {a, b}, [ai, bi, oi, n]() {
-      const float* g = oi->grad->data();
+      const float* g = oi->grad_data();
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        kernels::AxpyOne(g, ai->grad->data(), n);
+        kernels::AxpyOne(g, ai->grad_data(), n);
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        kernels::AxpyOne(g, bi->grad->data(), n);
+        kernels::AxpyOne(g, bi->grad_data(), n);
       }
     });
   }
@@ -70,14 +70,14 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
     auto bi = b.impl();
     TensorImpl* oi = out.impl().get();
     Attach(&out, {a, b}, [ai, bi, oi, n]() {
-      const float* g = oi->grad->data();
+      const float* g = oi->grad_data();
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        kernels::AxpyOne(g, ai->grad->data(), n);
+        kernels::AxpyOne(g, ai->grad_data(), n);
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        float* gb = bi->grad->data();
+        float* gb = bi->grad_data();
         for (int64_t i = 0; i < n; ++i) gb[i] -= g[i];
       }
     });
@@ -98,17 +98,17 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
     auto bi = b.impl();
     TensorImpl* oi = out.impl().get();
     Attach(&out, {a, b}, [ai, bi, oi, n]() {
-      const float* g = oi->grad->data();
+      const float* g = oi->grad_data();
       const float* pa2 = ai->storage->data();
       const float* pb2 = bi->storage->data();
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        float* ga = ai->grad->data();
+        float* ga = ai->grad_data();
         for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * pb2[i];
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        float* gb = bi->grad->data();
+        float* gb = bi->grad_data();
         for (int64_t i = 0; i < n; ++i) gb[i] += g[i] * pa2[i];
       }
     });
@@ -136,15 +136,15 @@ Tensor AddBias(const Tensor& x, const Tensor& bias) {
     auto bi = bias.impl();
     TensorImpl* oi = out.impl().get();
     Attach(&out, {x, bias}, [xi, bi, oi, rows, cols]() {
-      const float* g = oi->grad->data();
+      const float* g = oi->grad_data();
       if (xi->requires_grad) {
         xi->EnsureGrad();
-        kernels::AxpyOne(g, xi->grad->data(),
+        kernels::AxpyOne(g, xi->grad_data(),
                          static_cast<int64_t>(rows) * cols);
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        float* gb = bi->grad->data();
+        float* gb = bi->grad_data();
         for (int i = 0; i < rows; ++i) {
           for (int j = 0; j < cols; ++j) {
             gb[j] += g[static_cast<int64_t>(i) * cols + j];
@@ -167,8 +167,8 @@ Tensor Scale(const Tensor& a, float s) {
     TensorImpl* oi = out.impl().get();
     Attach(&out, {a}, [ai, oi, n, s]() {
       ai->EnsureGrad();
-      const float* g = oi->grad->data();
-      float* ga = ai->grad->data();
+      const float* g = oi->grad_data();
+      float* ga = ai->grad_data();
       for (int64_t i = 0; i < n; ++i) ga[i] += g[i] * s;
     });
   }
@@ -186,7 +186,7 @@ Tensor AddScalar(const Tensor& a, float s) {
     TensorImpl* oi = out.impl().get();
     Attach(&out, {a}, [ai, oi, n]() {
       ai->EnsureGrad();
-      kernels::AxpyOne(oi->grad->data(), ai->grad->data(), n);
+      kernels::AxpyOne(oi->grad_data(), ai->grad_data(), n);
     });
   }
   return out;
@@ -206,12 +206,12 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
     auto bi = b.impl();
     TensorImpl* oi = out.impl().get();
     Attach(&out, {a, b}, [ai, bi, oi, m, n, k, trans_a, trans_b]() {
-      const float* g = oi->grad->data();
+      const float* g = oi->grad_data();
       const float* pa = ai->storage->data();
       const float* pb = bi->storage->data();
       if (ai->requires_grad) {
         ai->EnsureGrad();
-        float* ga = ai->grad->data();
+        float* ga = ai->grad_data();
         if (!trans_a) {
           // dA[m,k] = dC @ op(B)^T
           Gemm(false, !trans_b, m, k, n, 1.0f, g, pb, 1.0f, ga);
@@ -222,7 +222,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
       }
       if (bi->requires_grad) {
         bi->EnsureGrad();
-        float* gb = bi->grad->data();
+        float* gb = bi->grad_data();
         if (!trans_b) {
           // dB[k,n] = op(A)^T @ dC
           Gemm(!trans_a, false, k, n, m, 1.0f, pa, g, 1.0f, gb);
@@ -247,9 +247,9 @@ Tensor Softmax(const Tensor& x) {
     TensorImpl* oi = out.impl().get();
     Attach(&out, {x}, [xi, oi, rows, cols]() {
       xi->EnsureGrad();
-      const float* g = oi->grad->data();
+      const float* g = oi->grad_data();
       const float* y = oi->storage->data();
-      float* gx = xi->grad->data();
+      float* gx = xi->grad_data();
       for (int i = 0; i < rows; ++i) {
         const float* yi = y + static_cast<int64_t>(i) * cols;
         const float* gi = g + static_cast<int64_t>(i) * cols;
@@ -274,9 +274,9 @@ Tensor LogSoftmax(const Tensor& x) {
     TensorImpl* oi = out.impl().get();
     Attach(&out, {x}, [xi, oi, rows, cols]() {
       xi->EnsureGrad();
-      const float* g = oi->grad->data();
+      const float* g = oi->grad_data();
       const float* logy = oi->storage->data();
-      float* gx = xi->grad->data();
+      float* gx = xi->grad_data();
       for (int i = 0; i < rows; ++i) {
         const float* gi = g + static_cast<int64_t>(i) * cols;
         const float* lyi = logy + static_cast<int64_t>(i) * cols;
@@ -316,9 +316,9 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
       bi->EnsureGrad();
       kernels::LayerNormBackward(xi->storage->data(), gi->storage->data(),
                                  mean->data(), rstd->data(),
-                                 oi->grad->data(), rows, cols,
-                                 xi->grad->data(), gi->grad->data(),
-                                 bi->grad->data());
+                                 oi->grad_data(), rows, cols,
+                                 xi->grad_data(), gi->grad_data(),
+                                 bi->grad_data());
     });
   }
   return out;
@@ -338,10 +338,10 @@ Tensor UnaryOp(const Tensor& x, Fwd fwd, Bwd bwd_from_input_and_output) {
     TensorImpl* oi = out.impl().get();
     Attach(&out, {x}, [xi, oi, n, bwd_from_input_and_output]() {
       xi->EnsureGrad();
-      const float* g = oi->grad->data();
+      const float* g = oi->grad_data();
       const float* in = xi->storage->data();
       const float* outv = oi->storage->data();
-      float* gx = xi->grad->data();
+      float* gx = xi->grad_data();
       for (int64_t i = 0; i < n; ++i) {
         gx[i] += g[i] * bwd_from_input_and_output(in[i], outv[i]);
       }
@@ -408,8 +408,8 @@ Tensor Dropout(const Tensor& x, float p, core::Rng* rng) {
     TensorImpl* oi = out.impl().get();
     Attach(&out, {x}, [xi, oi, n, mask]() {
       xi->EnsureGrad();
-      const float* g = oi->grad->data();
-      float* gx = xi->grad->data();
+      const float* g = oi->grad_data();
+      float* gx = xi->grad_data();
       for (int64_t i = 0; i < n; ++i) gx[i] += g[i] * (*mask)[i];
     });
   }
@@ -436,8 +436,8 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
     auto ids_copy = std::make_shared<std::vector<int>>(ids);
     Attach(&out, {table}, [ti, oi, dim, ids_copy]() {
       ti->EnsureGrad();
-      const float* g = oi->grad->data();
-      float* gt = ti->grad->data();
+      const float* g = oi->grad_data();
+      float* gt = ti->grad_data();
       for (size_t i = 0; i < ids_copy->size(); ++i) {
         kernels::AxpyOne(g + static_cast<int64_t>(i) * dim,
                          gt + static_cast<int64_t>((*ids_copy)[i]) * dim,
@@ -467,8 +467,8 @@ Tensor SelectRows(const Tensor& x, const std::vector<int>& rows) {
     auto rows_copy = std::make_shared<std::vector<int>>(rows);
     Attach(&out, {x}, [xi, oi, cols, rows_copy]() {
       xi->EnsureGrad();
-      const float* g = oi->grad->data();
-      float* gx = xi->grad->data();
+      const float* g = oi->grad_data();
+      float* gx = xi->grad_data();
       for (size_t i = 0; i < rows_copy->size(); ++i) {
         kernels::AxpyOne(g + static_cast<int64_t>(i) * cols,
                          gx + static_cast<int64_t>((*rows_copy)[i]) * cols,
@@ -500,8 +500,8 @@ Tensor SelectCols(const Tensor& x, const std::vector<int>& cols) {
     auto cols_copy = std::make_shared<std::vector<int>>(cols);
     Attach(&out, {x}, [xi, oi, rows, in_cols, k, cols_copy]() {
       xi->EnsureGrad();
-      const float* g = oi->grad->data();
-      float* gx = xi->grad->data();
+      const float* g = oi->grad_data();
+      float* gx = xi->grad_data();
       for (int i = 0; i < rows; ++i) {
         for (int j = 0; j < k; ++j) {
           gx[static_cast<int64_t>(i) * in_cols + (*cols_copy)[j]] +=
@@ -536,14 +536,14 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     std::vector<std::shared_ptr<TensorImpl>> impls;
     for (const Tensor& p : parts) impls.push_back(p.impl());
     Attach(&out, parts, [impls, oi, cols]() {
-      const float* g = oi->grad->data();
+      const float* g = oi->grad_data();
       int off = 0;
       for (const auto& pi : impls) {
         const int pr = pi->shape[0];
         if (pi->requires_grad) {
           pi->EnsureGrad();
           kernels::AxpyOne(g + static_cast<int64_t>(off) * cols,
-                           pi->grad->data(),
+                           pi->grad_data(),
                            static_cast<int64_t>(pr) * cols);
         }
         off += pr;
@@ -580,13 +580,13 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     std::vector<std::shared_ptr<TensorImpl>> impls;
     for (const Tensor& p : parts) impls.push_back(p.impl());
     Attach(&out, parts, [impls, oi, rows, cols]() {
-      const float* g = oi->grad->data();
+      const float* g = oi->grad_data();
       int off = 0;
       for (const auto& pi : impls) {
         const int pc = pi->shape[1];
         if (pi->requires_grad) {
           pi->EnsureGrad();
-          float* gp = pi->grad->data();
+          float* gp = pi->grad_data();
           for (int i = 0; i < rows; ++i) {
             kernels::AxpyOne(g + static_cast<int64_t>(i) * cols + off,
                              gp + static_cast<int64_t>(i) * pc, pc);
@@ -617,8 +617,8 @@ Tensor MeanRows(const Tensor& x) {
     TensorImpl* oi = out.impl().get();
     Attach(&out, {x}, [xi, oi, rows, cols]() {
       xi->EnsureGrad();
-      const float* g = oi->grad->data();
-      float* gx = xi->grad->data();
+      const float* g = oi->grad_data();
+      float* gx = xi->grad_data();
       const float inv2 = 1.0f / static_cast<float>(rows);
       for (int i = 0; i < rows; ++i) {
         for (int j = 0; j < cols; ++j) {
@@ -641,8 +641,8 @@ Tensor Sum(const Tensor& x) {
     TensorImpl* oi = out.impl().get();
     Attach(&out, {x}, [xi, oi, n]() {
       xi->EnsureGrad();
-      const float g = oi->grad->data()[0];
-      float* gx = xi->grad->data();
+      const float g = oi->grad_data()[0];
+      float* gx = xi->grad_data();
       for (int64_t i = 0; i < n; ++i) gx[i] += g;
     });
   }
@@ -684,8 +684,8 @@ Tensor CrossEntropyLogits(const Tensor& logits,
     Attach(&out, {logits}, [li, oi, rows, cols, probs, targets_copy,
                             valid]() {
       li->EnsureGrad();
-      const float g = oi->grad->data()[0];
-      float* gl = li->grad->data();
+      const float g = oi->grad_data()[0];
+      float* gl = li->grad_data();
       const float scale = g / static_cast<float>(valid);
       for (int i = 0; i < rows; ++i) {
         const int t = (*targets_copy)[i];

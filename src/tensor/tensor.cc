@@ -36,9 +36,15 @@ TensorImpl::TensorImpl(std::vector<int> shape_in, bool requires_grad_in)
 int64_t TensorImpl::numel() const { return ShapeNumel(shape); }
 
 void TensorImpl::EnsureGrad() {
+  if (internal::ShardGradLookup(this) != nullptr) return;
   if (!grad) {
     grad = std::make_shared<Storage>(static_cast<size_t>(numel()));
   }
+}
+
+float* TensorImpl::grad_data() {
+  if (float* redirected = internal::ShardGradLookup(this)) return redirected;
+  return grad->data();
 }
 
 Tensor Tensor::Zeros(std::vector<int> shape, bool requires_grad) {

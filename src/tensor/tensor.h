@@ -128,7 +128,16 @@ class TensorImpl {
   std::function<void()> backward_fn;
 
   int64_t numel() const;
+
+  /// Allocates (and zeroes) the shared grad buffer if absent. No-op when a
+  /// thread-local GradShard (autograd.h) redirects this impl: the shard
+  /// owns the accumulation buffer instead.
   void EnsureGrad();
+
+  /// Gradient accumulation buffer for backward closures: the thread-local
+  /// GradShard's buffer when one is installed and covers this impl,
+  /// otherwise the shared grad storage (EnsureGrad must have run).
+  float* grad_data();
 };
 
 /// Volume of a shape.
