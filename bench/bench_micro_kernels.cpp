@@ -15,6 +15,8 @@
 #include "data/benchmarks.h"
 #include "data/serializer.h"
 #include "nn/transformer.h"
+#include "tensor/arena.h"
+#include "tensor/autograd.h"
 #include "tensor/kernels.h"
 #include "text/tokenizer.h"
 
@@ -151,6 +153,63 @@ void BM_TransformerForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TransformerForward)->Arg(32)->Arg(96);
+
+nn::TransformerConfig ForwardBenchConfig() {
+  nn::TransformerConfig config;
+  config.vocab_size = 2000;
+  config.max_seq_len = 96;
+  config.dim = 32;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.ffn_dim = 64;
+  config.dropout = 0.0f;
+  return config;
+}
+
+std::vector<int> ForwardBenchIds(int len) {
+  std::vector<int> ids(static_cast<size_t>(len));
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = 7 + static_cast<int>(i % 1900);
+  }
+  return ids;
+}
+
+/// Training-mode forward: grad mode on, so every op attaches parents and
+/// a backward closure (the graph is built, then discarded each iteration).
+void BM_ForwardTrain(benchmark::State& state) {
+  core::Rng rng(1);
+  nn::TransformerEncoder encoder(ForwardBenchConfig(), &rng);
+  encoder.Train();
+  const std::vector<int> ids =
+      ForwardBenchIds(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto h = encoder.Encode(ids, &rng);
+    benchmark::DoNotOptimize(h.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ForwardTrain)->Arg(96);
+
+/// Inference-mode forward through the execution engine's fast path:
+/// NoGradGuard (no graph) + a warmed ScratchArena (steady-state buffer
+/// reuse). The headline eval-vs-train comparison for BENCH_micro.json.
+void BM_ForwardEval(benchmark::State& state) {
+  core::Rng rng(1);
+  nn::TransformerEncoder encoder(ForwardBenchConfig(), &rng);
+  encoder.Eval();
+  const std::vector<int> ids =
+      ForwardBenchIds(static_cast<int>(state.range(0)));
+  tensor::NoGradGuard no_grad;
+  tensor::ScratchArena arena;
+  tensor::ScratchArena::Scope scope(&arena);
+  for (auto _ : state) {
+    auto h = encoder.Encode(ids, &rng);
+    benchmark::DoNotOptimize(h.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["arena_fresh"] = static_cast<double>(arena.fresh_count());
+}
+BENCHMARK(BM_ForwardEval)->Arg(96);
 
 void BM_TdMatchPpr(benchmark::State& state) {
   data::GemDataset ds =

@@ -4,6 +4,7 @@
 
 #include "nn/serialize.h"
 #include "promptem/finetune_model.h"
+#include "promptem/scoring.h"
 
 namespace promptem::baselines {
 
@@ -51,18 +52,21 @@ std::unique_ptr<em::PairClassifier> RunDader(
   PROMPTEM_CHECK_MSG(st.ok(), st.ToString().c_str());
 
   // Phase 3: fine-tune on target labels, plus a KD/alignment term — the
-  // source model pseudo-labels a slice of the target's unlabeled pool.
+  // source model pseudo-labels a slice of the target's unlabeled pool
+  // through the batched eval engine.
   std::vector<em::EncodedPair> train = target_labeled;
-  source_model->SetTraining(false);
-  core::Rng unused(0);
   const size_t kd_budget = std::min<size_t>(target_unlabeled.size(),
                                             target_labeled.size());
+  const std::vector<em::EncodedPair> kd_pool(
+      target_unlabeled.begin(),
+      target_unlabeled.begin() + static_cast<long>(kd_budget));
+  const std::vector<em::ProbPair> kd_probs =
+      em::ScoreBatch(source_model.get(), kd_pool);
   for (size_t i = 0; i < kd_budget; ++i) {
-    const auto probs = source_model->Probs(target_unlabeled[i], &unused);
-    const float confidence = std::max(probs[0], probs[1]);
+    const float confidence = std::max(kd_probs[i][0], kd_probs[i][1]);
     if (confidence < 0.75f) continue;  // only confident source knowledge
-    em::EncodedPair kd = target_unlabeled[i];
-    kd.label = probs[1] >= 0.5f ? 1 : 0;
+    em::EncodedPair kd = kd_pool[i];
+    kd.label = kd_probs[i][1] >= 0.5f ? 1 : 0;
     train.push_back(std::move(kd));
   }
   em::TrainClassifier(target_model.get(), train, target_valid, options);

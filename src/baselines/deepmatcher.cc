@@ -1,7 +1,7 @@
 #include "baselines/deepmatcher.h"
 
+#include "promptem/scoring.h"
 #include "tensor/autograd.h"
-#include "tensor/kernels.h"
 
 namespace promptem::baselines {
 
@@ -46,10 +46,7 @@ tensor::Tensor DeepMatcherModel::Loss(const em::EncodedPair& x, int label,
 std::array<float, 2> DeepMatcherModel::Probs(const em::EncodedPair& x,
                                              core::Rng* rng) {
   tensor::NoGradGuard no_grad;
-  tensor::Tensor logits = Logits(x, rng);
-  float p[2];
-  tensor::kernels::SoftmaxRows(logits.data(), 1, 2, p);
-  return {p[0], p[1]};
+  return em::SoftmaxProbs2(Logits(x, rng));
 }
 
 }  // namespace promptem::baselines

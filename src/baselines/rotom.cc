@@ -2,21 +2,23 @@
 
 #include "baselines/ditto.h"
 #include "promptem/finetune_model.h"
+#include "promptem/scoring.h"
 
 namespace promptem::baselines {
 
 std::vector<em::EncodedPair> MetaFilterAugmented(
     em::PairClassifier* seed_model,
     const std::vector<em::EncodedPair>& candidates, float min_confidence) {
-  seed_model->AsModule()->SetTraining(false);
-  core::Rng unused(0);
+  // Batched eval scoring; the keep-filter then runs over the slots in
+  // input order, so the kept set matches the old sequential loop exactly.
+  const std::vector<em::ProbPair> probs =
+      em::ScoreBatch(seed_model, candidates);
   std::vector<em::EncodedPair> kept;
-  for (const auto& x : candidates) {
-    const auto probs = seed_model->Probs(x, &unused);
-    const int pred = probs[1] >= 0.5f ? 1 : 0;
-    const float confidence = std::max(probs[0], probs[1]);
-    if (pred == x.label && confidence >= min_confidence) {
-      kept.push_back(x);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const int pred = probs[i][1] >= 0.5f ? 1 : 0;
+    const float confidence = std::max(probs[i][0], probs[i][1]);
+    if (pred == candidates[i].label && confidence >= min_confidence) {
+      kept.push_back(candidates[i]);
     }
   }
   return kept;

@@ -3,8 +3,8 @@
 #include <cmath>
 
 #include "nn/optimizer.h"
+#include "promptem/scoring.h"
 #include "tensor/autograd.h"
-#include "tensor/kernels.h"
 
 namespace promptem::baselines {
 
@@ -47,7 +47,7 @@ void TdMatchStar::Train(const std::vector<data::PairExample>& labeled,
   nn::AdamWConfig config;
   config.lr = lr;
   nn::AdamW optimizer(head_->Parameters(), config);
-  head_->SetTraining(true);
+  head_->Train();
   std::vector<size_t> order(labeled.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   for (int epoch = 0; epoch < epochs; ++epoch) {
@@ -68,20 +68,23 @@ void TdMatchStar::Train(const std::vector<data::PairExample>& labeled,
       optimizer.ZeroGrad();
     }
   }
-  head_->SetTraining(false);
+  head_->Eval();
 }
 
 std::vector<int> TdMatchStar::Predict(
     const std::vector<data::PairExample>& pairs) {
-  head_->SetTraining(false);
-  tensor::NoGradGuard no_grad;
-  core::Rng unused(0);
+  // TdMatchStar is not a PairClassifier (it scores graph-projection
+  // features, not EncodedPairs), so it adapts to the unified engine via
+  // ScoreIndexed. Softmax is monotone, so thresholding P(yes) >= P(no)
+  // decides exactly like the raw-logit comparison it replaces.
+  head_->Eval();
+  const std::vector<em::ProbPair> probs = em::ScoreIndexed(
+      static_cast<int64_t>(pairs.size()), [&](int64_t i, core::Rng* rng) {
+        return em::SoftmaxProbs2(Logits(pairs[static_cast<size_t>(i)], rng));
+      });
   std::vector<int> out;
   out.reserve(pairs.size());
-  for (const auto& pair : pairs) {
-    tensor::Tensor logits = Logits(pair, &unused);
-    out.push_back(logits.at(0, 1) >= logits.at(0, 0) ? 1 : 0);
-  }
+  for (const auto& p : probs) out.push_back(p[1] >= p[0] ? 1 : 0);
   return out;
 }
 

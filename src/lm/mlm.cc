@@ -51,7 +51,7 @@ std::vector<float> PretrainMlm(nn::TransformerEncoder* encoder,
                                const text::Vocab& vocab,
                                const MlmOptions& options, core::Rng* rng) {
   PROMPTEM_CHECK(encoder != nullptr);
-  encoder->SetTraining(true);
+  encoder->Train();
   nn::AdamWConfig opt_config;
   opt_config.lr = options.lr;
   nn::AdamW optimizer(encoder->Parameters(), opt_config);

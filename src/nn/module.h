@@ -44,6 +44,13 @@ class Module {
   void SetTraining(bool training);
   bool training() const { return training_; }
 
+  /// Explicit execution-state switches (PyTorch-style). Train() enables
+  /// stochastic layers; Eval() makes forwards deterministic. Note the mode
+  /// is independent of grad mode: MC-Dropout runs with Train() semantics
+  /// under a NoGradGuard.
+  void Train() { SetTraining(true); }
+  void Eval() { SetTraining(false); }
+
   /// Total scalar parameter count.
   int64_t NumParams() const;
 

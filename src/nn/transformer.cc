@@ -107,6 +107,12 @@ tensor::Tensor TransformerEncoder::Encode(const std::vector<int>& ids,
 
 tensor::Tensor TransformerEncoder::MlmLogits(
     const tensor::Tensor& hidden, const std::vector<int>& positions) const {
+  // NOTE(execution-modes): the tied MLM head multiplies against the full
+  // embedding table, which is the most allocation-heavy step of a prompt
+  // forward. Rows are selected *before* the projection so eval scoring
+  // only pays for the [MASK] positions, and under a NoGradGuard the
+  // [positions, vocab] logits buffer comes from the thread's ScratchArena
+  // rather than the heap (see DESIGN.md "Execution modes").
   tensor::Tensor selected = ops::SelectRows(hidden, positions);
   tensor::Tensor logits = ops::MatMul(selected, token_embedding_.table(),
                                       false, /*trans_b=*/true);

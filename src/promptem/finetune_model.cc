@@ -1,7 +1,7 @@
 #include "promptem/finetune_model.h"
 
+#include "promptem/scoring.h"
 #include "tensor/autograd.h"
-#include "tensor/kernels.h"
 
 namespace promptem::em {
 
@@ -54,10 +54,7 @@ tensor::Tensor FinetuneModel::Loss(const EncodedPair& x, int label,
 std::array<float, 2> FinetuneModel::Probs(const EncodedPair& x,
                                           core::Rng* rng) {
   tensor::NoGradGuard no_grad;
-  tensor::Tensor logits = Logits(x, rng);
-  float p[2];
-  tensor::kernels::SoftmaxRows(logits.data(), 1, 2, p);
-  return {p[0], p[1]};
+  return SoftmaxProbs2(Logits(x, rng));
 }
 
 }  // namespace promptem::em

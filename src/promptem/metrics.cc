@@ -53,4 +53,14 @@ Metrics ComputeMetrics(const std::vector<int>& predictions,
   return m;
 }
 
+Metrics MetricsFromProbs(const std::vector<std::array<float, 2>>& probs,
+                         const std::vector<int>& gold) {
+  PROMPTEM_CHECK(probs.size() == gold.size());
+  std::vector<int> predictions(probs.size());
+  for (size_t i = 0; i < probs.size(); ++i) {
+    predictions[i] = probs[i][1] >= 0.5f ? 1 : 0;
+  }
+  return ComputeMetrics(predictions, gold);
+}
+
 }  // namespace promptem::em

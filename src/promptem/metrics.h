@@ -1,6 +1,7 @@
 #ifndef PROMPTEM_PROMPTEM_METRICS_H_
 #define PROMPTEM_PROMPTEM_METRICS_H_
 
+#include <array>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,12 @@ struct Metrics {
 /// Tallies predictions (1 = match) against gold labels.
 Metrics ComputeMetrics(const std::vector<int>& predictions,
                        const std::vector<int>& gold);
+
+/// Tallies {P(no), P(yes)} pairs from the batched scoring engine
+/// (scoring.h) against gold labels, thresholding P(yes) at 0.5 — the
+/// reduction end of the unified eval path.
+Metrics MetricsFromProbs(const std::vector<std::array<float, 2>>& probs,
+                         const std::vector<int>& gold);
 
 }  // namespace promptem::em
 

@@ -142,6 +142,12 @@ tensor::Tensor PromptModel::Loss(const EncodedPair& x, int label,
 
 std::array<float, 2> PromptModel::Probs(const EncodedPair& x,
                                         core::Rng* rng) {
+  // NOTE(execution-modes): the guard here is deliberately kept even though
+  // the batched engine (scoring.h) already disables grad mode per worker
+  // chunk — Probs must stay graph-free when called directly (active
+  // learning, ad-hoc scoring), and nested guards are free. Dropout
+  // stochasticity is governed solely by the module's Train()/Eval() state,
+  // so MC-Dropout works under this guard.
   tensor::NoGradGuard no_grad;
   return verbalizer_.PredictProbs(MaskLogits(x, rng));
 }

@@ -66,7 +66,7 @@ PromptEMResult PromptEM::Run(const data::GemDataset& dataset,
       if (probe == nullptr) {
         core::Rng probe_rng(config_.seed ^ 0xC1u);
         probe = std::make_unique<FinetuneModel>(*lm_, &probe_rng);
-        probe->SetTraining(false);
+        probe->Eval();
       }
       tensor::Tensor e = probe->PairEmbedding(x, rng);
       return std::vector<float>(e.data(), e.data() + e.numel());

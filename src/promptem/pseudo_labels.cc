@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "promptem/scoring.h"
+
 namespace promptem::em {
 
 const char* PseudoLabelStrategyName(PseudoLabelStrategy strategy) {
@@ -113,9 +115,13 @@ PseudoLabelResult SelectPseudoLabels(
     case PseudoLabelStrategy::kClustering: {
       PROMPTEM_CHECK_MSG(embed != nullptr,
                          "clustering strategy needs an embedding fn");
-      std::vector<std::vector<float>> points;
-      points.reserve(n);
-      for (const auto& x : unlabeled) points.push_back(embed(x, rng));
+      // Embeddings run through the batched graph-free engine. Per-sample
+      // seeds are drawn in input order, so the result is independent of
+      // the pool size.
+      std::vector<uint64_t> seeds(n);
+      for (auto& s : seeds) s = rng->NextU64();
+      const std::vector<std::vector<float>> points =
+          EmbedBatch(embed, unlabeled, seeds);
       std::vector<int> assignment;
       std::vector<double> distance;
       KMeans(points, /*k=*/2, /*iterations=*/10, rng, &assignment,

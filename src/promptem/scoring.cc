@@ -1,0 +1,89 @@
+#include "promptem/scoring.h"
+
+#include "core/thread_pool.h"
+#include "tensor/arena.h"
+#include "tensor/autograd.h"
+#include "tensor/kernels.h"
+
+namespace promptem::em {
+
+namespace {
+
+/// Samples per worker chunk. Fixed — the chunk decomposition never depends
+/// on the pool size — and large enough that a chunk's ScratchArena
+/// amortizes its warm-up allocations over several samples.
+constexpr int64_t kScoreGrain = 8;
+
+}  // namespace
+
+void ForEachGraphFree(int64_t n, const std::function<void(int64_t)>& fn) {
+  core::ParallelFor(0, n, kScoreGrain, [&](int64_t begin, int64_t end) {
+    tensor::NoGradGuard no_grad;
+    tensor::ScratchArena arena;
+    tensor::ScratchArena::Scope scope(&arena);
+    for (int64_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+std::vector<ProbPair> ScoreIndexed(int64_t n, const IndexedScoreFn& score_one,
+                                   const std::vector<uint64_t>& seeds) {
+  PROMPTEM_CHECK(seeds.empty() || static_cast<int64_t>(seeds.size()) == n);
+  std::vector<ProbPair> probs(static_cast<size_t>(n));
+  ForEachGraphFree(n, [&](int64_t i) {
+    const size_t idx = static_cast<size_t>(i);
+    core::Rng rng(seeds.empty() ? 0 : seeds[idx]);
+    probs[idx] = score_one(i, &rng);
+  });
+  return probs;
+}
+
+std::vector<ProbPair> ScoreBatch(PairClassifier* model,
+                                 const std::vector<EncodedPair>& xs) {
+  model->AsModule()->Eval();
+  return ScoreIndexed(static_cast<int64_t>(xs.size()),
+                      [&](int64_t i, core::Rng* rng) {
+                        return model->Probs(xs[static_cast<size_t>(i)], rng);
+                      });
+}
+
+std::vector<ProbPair> ScoreBatchStochastic(
+    PairClassifier* model, const std::vector<EncodedPair>& xs,
+    const std::vector<uint64_t>& seeds) {
+  PROMPTEM_CHECK(seeds.size() == xs.size());
+  ScopedTrainingMode training(model->AsModule());
+  return ScoreIndexed(static_cast<int64_t>(xs.size()),
+                      [&](int64_t i, core::Rng* rng) {
+                        return model->Probs(xs[static_cast<size_t>(i)], rng);
+                      },
+                      seeds);
+}
+
+std::vector<int> LabelsFromProbs(const std::vector<ProbPair>& probs) {
+  std::vector<int> labels(probs.size());
+  for (size_t i = 0; i < probs.size(); ++i) {
+    labels[i] = probs[i][1] >= 0.5f ? 1 : 0;
+  }
+  return labels;
+}
+
+std::vector<std::vector<float>> EmbedBatch(const PairEmbedFn& embed,
+                                           const std::vector<EncodedPair>& xs,
+                                           const std::vector<uint64_t>& seeds) {
+  PROMPTEM_CHECK(seeds.empty() || seeds.size() == xs.size());
+  std::vector<std::vector<float>> points(xs.size());
+  ForEachGraphFree(static_cast<int64_t>(xs.size()), [&](int64_t i) {
+    const size_t idx = static_cast<size_t>(i);
+    core::Rng rng(seeds.empty() ? 0 : seeds[idx]);
+    points[idx] = embed(xs[idx], &rng);
+  });
+  return points;
+}
+
+ProbPair SoftmaxProbs2(const tensor::Tensor& logits) {
+  PROMPTEM_CHECK(logits.numel() == 2);
+  float p[2];
+  tensor::kernels::SoftmaxRows(logits.data(), 1, 2, p);
+  return {p[0], p[1]};
+}
+
+}  // namespace promptem::em

@@ -28,7 +28,7 @@ void TrainStudentWithPruning(PairClassifier* student,
   nn::AdamW optimizer(module->Parameters(), opt_config);
 
   for (int epoch = 1; epoch <= config.student_options.epochs; ++epoch) {
-    module->SetTraining(true);
+    module->Train();
     std::vector<size_t> order(train_set->size());
     std::iota(order.begin(), order.end(), 0);
     rng.Shuffle(&order);
@@ -161,7 +161,7 @@ std::unique_ptr<PairClassifier> RunSelfTraining(
     return best_model;
   }
   RestoreParams(best_model->AsModule(), best_snapshot);
-  best_model->AsModule()->SetTraining(false);
+  best_model->AsModule()->Eval();
   return best_model;
 }
 

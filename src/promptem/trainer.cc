@@ -6,6 +6,7 @@
 
 #include "core/thread_pool.h"
 #include "nn/optimizer.h"
+#include "promptem/scoring.h"
 #include "tensor/autograd.h"
 
 namespace promptem::em {
@@ -32,20 +33,9 @@ void RestoreParams(nn::Module* module,
 
 std::vector<int> PredictLabels(PairClassifier* model,
                                const std::vector<EncodedPair>& examples) {
-  model->AsModule()->SetTraining(false);
-  std::vector<int> preds(examples.size());
-  // Eval-mode passes are deterministic and independent: score samples
-  // concurrently, each writing its own slot.
-  core::ParallelFor(0, static_cast<int64_t>(examples.size()), 1,
-                    [&](int64_t begin, int64_t end) {
-    core::Rng unused(0);
-    for (int64_t i = begin; i < end; ++i) {
-      const auto probs = model->Probs(examples[static_cast<size_t>(i)],
-                                      &unused);
-      preds[static_cast<size_t>(i)] = probs[1] >= 0.5f ? 1 : 0;
-    }
-  });
-  return preds;
+  // Eval-mode passes are deterministic and independent: the batched engine
+  // scores them pool-parallel, graph-free, with buffer reuse.
+  return LabelsFromProbs(ScoreBatch(model, examples));
 }
 
 Metrics Evaluate(PairClassifier* model,
@@ -53,7 +43,7 @@ Metrics Evaluate(PairClassifier* model,
   std::vector<int> gold;
   gold.reserve(examples.size());
   for (const auto& x : examples) gold.push_back(x.label);
-  return ComputeMetrics(PredictLabels(model, examples), gold);
+  return MetricsFromProbs(ScoreBatch(model, examples), gold);
 }
 
 double TrainEpochDataParallel(PairClassifier* model,
@@ -132,7 +122,7 @@ TrainResult TrainClassifier(PairClassifier* model,
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
-    module->SetTraining(true);
+    module->Train();
     rng.Shuffle(&order);
     const double epoch_loss = TrainEpochDataParallel(
         model, train, order, options.batch_size, &optimizer, &rng,
@@ -154,7 +144,7 @@ TrainResult TrainClassifier(PairClassifier* model,
   if (!best_snapshot.empty()) {
     RestoreParams(module, best_snapshot);
   }
-  module->SetTraining(false);
+  module->Eval();
   return result;
 }
 

@@ -3,37 +3,18 @@
 #include <array>
 #include <cmath>
 
-#include "core/thread_pool.h"
-#include "tensor/autograd.h"
+#include "promptem/scoring.h"
 
 namespace promptem::em {
 
 namespace {
 
-/// RAII: forces training mode (dropout active) if it is not already on,
-/// restoring the previous mode on destruction. When the mode is already
-/// correct nothing is written, so concurrent scopes over the same module
-/// only read the flag.
-class ScopedTrainingMode {
- public:
-  explicit ScopedTrainingMode(nn::Module* module)
-      : module_(module), was_training_(module->training()) {
-    if (!was_training_) module_->SetTraining(true);
-  }
-  ~ScopedTrainingMode() {
-    if (!was_training_) module_->SetTraining(false);
-  }
-
- private:
-  nn::Module* module_;
-  bool was_training_;
-};
-
 /// The stochastic core: K dropout passes of P over one sample, pass i
 /// seeded from the i-th draw of Rng(base_seed). Passes are independent, so
-/// they fan out across the pool (inline when already inside a sample-level
-/// parallel region); the returned probabilities are in pass order either
-/// way. Assumes training mode is already on.
+/// the graph-free engine fans them out across the pool (inline when
+/// already inside a sample-level parallel region); the returned
+/// probabilities are in pass order either way. Assumes training mode is
+/// already on.
 std::vector<std::array<float, 2>> RunMcPasses(PairClassifier* model,
                                               const EncodedPair& x,
                                               int passes,
@@ -41,15 +22,11 @@ std::vector<std::array<float, 2>> RunMcPasses(PairClassifier* model,
   std::vector<uint64_t> seeds(static_cast<size_t>(passes));
   core::Rng seeder(base_seed);
   for (auto& s : seeds) s = seeder.NextU64();
-  std::vector<std::array<float, 2>> probs(static_cast<size_t>(passes));
-  core::ParallelFor(0, passes, 1, [&](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) {
-      tensor::NoGradGuard no_grad;
-      core::Rng pass_rng(seeds[static_cast<size_t>(i)]);
-      probs[static_cast<size_t>(i)] = model->Probs(x, &pass_rng);
-    }
-  });
-  return probs;
+  return ScoreIndexed(passes,
+                      [&](int64_t, core::Rng* pass_rng) {
+                        return model->Probs(x, pass_rng);
+                      },
+                      seeds);
 }
 
 McEstimate EstimateFromPasses(
@@ -109,13 +86,10 @@ std::vector<McEstimate> McDropoutEstimateBatch(
   std::vector<uint64_t> seeds(xs.size());
   for (auto& s : seeds) s = rng->NextU64();
   std::vector<McEstimate> estimates(xs.size());
-  core::ParallelFor(0, static_cast<int64_t>(xs.size()), 1,
-                    [&](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) {
-      const size_t idx = static_cast<size_t>(i);
-      estimates[idx] = EstimateFromPasses(
-          RunMcPasses(model, xs[idx], passes, seeds[idx]));
-    }
+  ForEachGraphFree(static_cast<int64_t>(xs.size()), [&](int64_t i) {
+    const size_t idx = static_cast<size_t>(i);
+    estimates[idx] = EstimateFromPasses(
+        RunMcPasses(model, xs[idx], passes, seeds[idx]));
   });
   return estimates;
 }
@@ -128,13 +102,10 @@ std::vector<float> McEl2nScoreBatch(PairClassifier* model,
   std::vector<uint64_t> seeds(xs.size());
   for (auto& s : seeds) s = rng->NextU64();
   std::vector<float> scores(xs.size());
-  core::ParallelFor(0, static_cast<int64_t>(xs.size()), 1,
-                    [&](int64_t begin, int64_t end) {
-    for (int64_t i = begin; i < end; ++i) {
-      const size_t idx = static_cast<size_t>(i);
-      scores[idx] = El2nFromPasses(
-          RunMcPasses(model, xs[idx], passes, seeds[idx]), xs[idx].label);
-    }
+  ForEachGraphFree(static_cast<int64_t>(xs.size()), [&](int64_t i) {
+    const size_t idx = static_cast<size_t>(i);
+    scores[idx] = El2nFromPasses(
+        RunMcPasses(model, xs[idx], passes, seeds[idx]), xs[idx].label);
   });
   return scores;
 }

@@ -1,0 +1,82 @@
+#include "tensor/arena.h"
+
+#include <algorithm>
+
+#include "tensor/autograd.h"
+
+namespace promptem::tensor {
+
+namespace {
+
+thread_local ScratchArena* t_current_arena = nullptr;
+
+/// Returns the buffer to its arena when that arena is still alive and the
+/// release happens on the owning thread; otherwise deletes it. The weak
+/// token makes escaped tensors (alive past the arena, or handed to another
+/// thread) safe at the cost of not being recycled.
+struct ArenaDeleter {
+  std::weak_ptr<ScratchArena::Token> token;
+
+  void operator()(Storage* storage) const {
+    if (auto live = token.lock();
+        live && live->owner == std::this_thread::get_id()) {
+      live->arena->Release(storage);
+      return;
+    }
+    delete storage;
+  }
+};
+
+}  // namespace
+
+ScratchArena::ScratchArena()
+    : token_(std::make_shared<Token>(
+          Token{this, std::this_thread::get_id()})) {}
+
+ScratchArena::~ScratchArena() = default;
+
+ScratchArena::Scope::Scope(ScratchArena* arena) : previous_(t_current_arena) {
+  t_current_arena = arena;
+}
+
+ScratchArena::Scope::~Scope() { t_current_arena = previous_; }
+
+ScratchArena* ScratchArena::Current() { return t_current_arena; }
+
+size_t ScratchArena::cached_buffers() const {
+  size_t n = 0;
+  for (const auto& [size, bucket] : free_) n += bucket.size();
+  return n;
+}
+
+std::shared_ptr<Storage> ScratchArena::Acquire(size_t size) {
+  Storage* raw = nullptr;
+  auto& bucket = free_[size];
+  if (!bucket.empty()) {
+    raw = bucket.back().release();
+    bucket.pop_back();
+    // Tensor::Zeros is a contract several ops rely on (e.g. MeanRows
+    // accumulates into its zero-initialized output), so recycled buffers
+    // are re-zeroed.
+    std::fill_n(raw->data(), raw->size(), 0.0f);
+    ++reuse_count_;
+  } else {
+    raw = new Storage(size);
+    ++fresh_count_;
+  }
+  return std::shared_ptr<Storage>(raw, ArenaDeleter{token_});
+}
+
+void ScratchArena::Release(Storage* storage) {
+  free_[storage->size()].emplace_back(storage);
+}
+
+std::shared_ptr<Storage> AcquireStorage(size_t size, bool requires_grad) {
+  ScratchArena* arena = t_current_arena;
+  if (arena == nullptr || requires_grad || GradEnabled()) {
+    return std::make_shared<Storage>(size);
+  }
+  return arena->Acquire(size);
+}
+
+}  // namespace promptem::tensor

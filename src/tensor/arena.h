@@ -1,0 +1,99 @@
+#ifndef PROMPTEM_TENSOR_ARENA_H_
+#define PROMPTEM_TENSOR_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace promptem::tensor {
+
+/// Size-bucketed scratch allocator for inference-mode intermediates.
+///
+/// A forward pass with grad mode disabled produces a stream of short-lived
+/// tensors whose shapes repeat exactly from sample to sample. While a
+/// ScratchArena Scope is installed on a thread, tensor construction with
+/// grad mode off draws buffers from the arena's freelist instead of the
+/// heap; when the last Tensor referencing a buffer dies, the buffer goes
+/// back to the freelist. After the first sample warms the buckets, eval
+/// scoring is allocation-free in steady state (see reuse_count /
+/// fresh_count).
+///
+/// An arena is single-threaded: it may only be installed, used, and
+/// destroyed on one thread (each pool worker builds its own). Buffers that
+/// outlive the arena, or that are released from another thread, fall back
+/// to plain deletion — escaping a tensor from an arena scope is safe, just
+/// not recycled. Graph-mode tensors (requires_grad, or grad mode enabled)
+/// never touch the arena: training allocation behavior is unchanged.
+///
+/// Cached buffers stay registered with core::MemTracker while they sit in
+/// the freelist, so tracked bytes reflect real residency.
+class ScratchArena {
+ public:
+  ScratchArena();
+  ~ScratchArena();
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  /// RAII installer: makes `arena` the current thread's scratch source.
+  /// Scopes nest; the innermost arena wins and the previous one is
+  /// restored on destruction.
+  class Scope {
+   public:
+    explicit Scope(ScratchArena* arena);
+    ~Scope();
+
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ScratchArena* previous_;
+  };
+
+  /// The arena installed on the current thread, or nullptr.
+  static ScratchArena* Current();
+
+  /// Buffers created because no cached buffer of the right size existed.
+  int64_t fresh_count() const { return fresh_count_; }
+  /// Buffers served from the freelist (zero heap traffic).
+  int64_t reuse_count() const { return reuse_count_; }
+  /// Buffers currently parked in the freelist.
+  size_t cached_buffers() const;
+
+  /// Liveness + ownership token shared with buffer deleters; public only
+  /// so the deleter (an implementation detail of arena.cc) can name it.
+  struct Token {
+    ScratchArena* arena;
+    std::thread::id owner;
+  };
+
+  /// Parks a dying buffer back in the freelist. Called by the buffer
+  /// deleter (arena.cc) after it has verified the arena is alive and the
+  /// release is on the owning thread; not part of the user-facing API.
+  void Release(Storage* storage);
+
+ private:
+  friend std::shared_ptr<Storage> AcquireStorage(size_t size,
+                                                 bool requires_grad);
+
+  std::shared_ptr<Storage> Acquire(size_t size);
+
+  std::shared_ptr<Token> token_;
+  std::unordered_map<size_t, std::vector<std::unique_ptr<Storage>>> free_;
+  int64_t fresh_count_ = 0;
+  int64_t reuse_count_ = 0;
+};
+
+/// Storage factory behind every TensorImpl: an arena-recycled (re-zeroed)
+/// buffer when the current thread has an installed ScratchArena, grad mode
+/// is off, and the tensor does not require grad; a plain heap Storage
+/// otherwise.
+std::shared_ptr<Storage> AcquireStorage(size_t size, bool requires_grad);
+
+}  // namespace promptem::tensor
+
+#endif  // PROMPTEM_TENSOR_ARENA_H_

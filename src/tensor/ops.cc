@@ -299,12 +299,24 @@ Tensor LayerNorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const int rows = x.dim(0);
   const int cols = x.dim(1);
   Tensor out = Tensor::Zeros(x.shape());
+  const bool track =
+      GradEnabled() && (x.requires_grad() || gamma.requires_grad() ||
+                        beta.requires_grad());
+  if (!track) {
+    // Graph-free path: the saved statistics exist only for the backward
+    // closure, so stack-local scratch suffices.
+    std::vector<float> mean(static_cast<size_t>(rows));
+    std::vector<float> rstd(static_cast<size_t>(rows));
+    kernels::LayerNormForward(x.data(), rows, cols, gamma.data(),
+                              beta.data(), eps, out.data(), mean.data(),
+                              rstd.data());
+    return out;
+  }
   auto mean = std::make_shared<std::vector<float>>(rows);
   auto rstd = std::make_shared<std::vector<float>>(rows);
   kernels::LayerNormForward(x.data(), rows, cols, gamma.data(), beta.data(),
                             eps, out.data(), mean->data(), rstd->data());
-  if (GradEnabled() && (x.requires_grad() || gamma.requires_grad() ||
-                        beta.requires_grad())) {
+  {
     auto xi = x.impl();
     auto gi = gamma.impl();
     auto bi = beta.impl();
@@ -394,16 +406,26 @@ Tensor Dropout(const Tensor& x, float p, core::Rng* rng) {
   if (p == 0.0f) return x;
   PROMPTEM_CHECK(rng != nullptr);
   const int64_t n = x.numel();
-  auto mask = std::make_shared<std::vector<float>>(n);
   const float keep_scale = 1.0f / (1.0f - p);
-  for (int64_t i = 0; i < n; ++i) {
-    (*mask)[i] = rng->Bernoulli(p) ? 0.0f : keep_scale;
-  }
   Tensor out = Tensor::Zeros(x.shape());
   const float* px = x.data();
   float* po = out.data();
+  if (!Track(x)) {
+    // Graph-free path (MC-Dropout scoring): apply the mask on the fly
+    // without materializing it. The Bernoulli draw order matches the
+    // tracked path exactly, so a pass's dropout pattern depends only on
+    // its rng stream, never on grad mode.
+    for (int64_t i = 0; i < n; ++i) {
+      po[i] = rng->Bernoulli(p) ? 0.0f : px[i] * keep_scale;
+    }
+    return out;
+  }
+  auto mask = std::make_shared<std::vector<float>>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    (*mask)[i] = rng->Bernoulli(p) ? 0.0f : keep_scale;
+  }
   for (int64_t i = 0; i < n; ++i) po[i] = px[i] * (*mask)[i];
-  if (Track(x)) {
+  {
     auto xi = x.impl();
     TensorImpl* oi = out.impl().get();
     Attach(&out, {x}, [xi, oi, n, mask]() {
@@ -699,5 +721,12 @@ Tensor CrossEntropyLogits(const Tensor& logits,
   }
   return out;
 }
+
+// NOTE(execution-modes): every op above follows the same discipline — the
+// forward value is computed unconditionally, and graph state (parents,
+// backward closure, saved activations) is attached only under Track(). A
+// batched eval pass therefore builds zero graph nodes; DESIGN.md
+// "Execution modes" documents the contract and tests/execution_test.cc
+// asserts it over a full transformer forward.
 
 }  // namespace promptem::tensor::ops

@@ -5,6 +5,7 @@
 
 #include "core/mem_tracker.h"
 #include "core/string_util.h"
+#include "tensor/arena.h"
 #include "tensor/autograd.h"
 
 namespace promptem::tensor {
@@ -30,7 +31,11 @@ bool SameShape(const std::vector<int>& a, const std::vector<int>& b) {
 
 TensorImpl::TensorImpl(std::vector<int> shape_in, bool requires_grad_in)
     : shape(std::move(shape_in)), requires_grad(requires_grad_in) {
-  storage = std::make_shared<Storage>(static_cast<size_t>(ShapeNumel(shape)));
+  // Inference-mode intermediates come from the thread's ScratchArena when
+  // one is installed; everything else (training, parameters, grads) is a
+  // plain heap Storage.
+  storage = AcquireStorage(static_cast<size_t>(ShapeNumel(shape)),
+                           requires_grad);
 }
 
 int64_t TensorImpl::numel() const { return ShapeNumel(shape); }
