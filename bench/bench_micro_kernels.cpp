@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -18,7 +19,19 @@
 #include "tensor/arena.h"
 #include "tensor/autograd.h"
 #include "tensor/kernels.h"
+#include "tensor/ops.h"
 #include "text/tokenizer.h"
+
+// Build-type stamp injected by bench/CMakeLists.txt; reported via
+// AddCustomContext and used to refuse recording BENCH_micro.json from a
+// non-Release or sanitizer build (the system libbenchmark's own
+// library_build_type field always says "debug" and cannot be trusted).
+#ifndef PROMPTEM_BENCH_BUILD_TYPE
+#define PROMPTEM_BENCH_BUILD_TYPE ""
+#endif
+#ifndef PROMPTEM_BENCH_SANITIZE
+#define PROMPTEM_BENCH_SANITIZE ""
+#endif
 
 namespace {
 
@@ -211,6 +224,74 @@ void BM_ForwardEval(benchmark::State& state) {
 }
 BENCHMARK(BM_ForwardEval)->Arg(96);
 
+tensor::Tensor RandomAttnInput(int t, int d, uint64_t seed) {
+  core::Rng rng(seed);
+  tensor::Tensor x = tensor::Tensor::Zeros({t, d});
+  for (int64_t i = 0; i < x.numel(); ++i) x.data()[i] = rng.Gaussian();
+  return x;
+}
+
+/// Fused SDPA core (strided head views + streaming softmax + tiled
+/// attn-times-V), graph-free with a warmed arena: the configuration every
+/// eval scoring pass runs. 4 heads over packed [T, 64] Q/K/V.
+void BM_AttentionFused(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  const int d = 64;
+  const int heads = 4;
+  const float scale = 1.0f / 4.0f;  // 1/sqrt(head_dim=16)
+  tensor::Tensor q = RandomAttnInput(t, d, 1);
+  tensor::Tensor k = RandomAttnInput(t, d, 2);
+  tensor::Tensor v = RandomAttnInput(t, d, 3);
+  tensor::NoGradGuard no_grad;
+  tensor::ScratchArena arena;
+  tensor::ScratchArena::Scope scope(&arena);
+  for (auto _ : state) {
+    tensor::Tensor out =
+        tensor::ops::FusedSdpa(q, k, v, heads, scale, 0.0f, nullptr);
+    benchmark::DoNotOptimize(out.data());
+  }
+  // Two [T,T]x[T,hd]-shaped GEMMs per head: 4*T*T*d flops total.
+  state.SetItemsProcessed(state.iterations() * 4LL * t * t * d);
+  state.counters["arena_fresh"] = static_cast<double>(arena.fresh_count());
+}
+BENCHMARK(BM_AttentionFused)->Arg(32)->Arg(128);
+
+/// The unfused parity reference over the same inputs: per-head SelectCols
+/// copies, materialized score matrices, and a ConcatCols gather — what
+/// MultiHeadSelfAttention ran before fusion (PROMPTEM_UNFUSED_ATTENTION=1).
+void BM_AttentionUnfused(benchmark::State& state) {
+  const int t = static_cast<int>(state.range(0));
+  const int d = 64;
+  const int heads = 4;
+  const int hd = d / heads;
+  const float scale = 1.0f / 4.0f;
+  tensor::Tensor q = RandomAttnInput(t, d, 1);
+  tensor::Tensor k = RandomAttnInput(t, d, 2);
+  tensor::Tensor v = RandomAttnInput(t, d, 3);
+  tensor::NoGradGuard no_grad;
+  tensor::ScratchArena arena;
+  tensor::ScratchArena::Scope scope(&arena);
+  for (auto _ : state) {
+    std::vector<tensor::Tensor> head_outputs;
+    head_outputs.reserve(heads);
+    for (int h = 0; h < heads; ++h) {
+      std::vector<int> cols(hd);
+      for (int c = 0; c < hd; ++c) cols[c] = h * hd + c;
+      tensor::Tensor qh = tensor::ops::SelectCols(q, cols);
+      tensor::Tensor kh = tensor::ops::SelectCols(k, cols);
+      tensor::Tensor vh = tensor::ops::SelectCols(v, cols);
+      tensor::Tensor attn = tensor::ops::Softmax(tensor::ops::Scale(
+          tensor::ops::MatMul(qh, kh, false, /*trans_b=*/true), scale));
+      head_outputs.push_back(tensor::ops::MatMul(attn, vh));
+    }
+    tensor::Tensor out = tensor::ops::ConcatCols(head_outputs);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4LL * t * t * d);
+  state.counters["arena_fresh"] = static_cast<double>(arena.fresh_count());
+}
+BENCHMARK(BM_AttentionUnfused)->Arg(32)->Arg(128);
+
 void BM_TdMatchPpr(benchmark::State& state) {
   data::GemDataset ds =
       data::GenerateBenchmark(data::BenchmarkKind::kSemiHeter, 42);
@@ -227,8 +308,13 @@ BENCHMARK(BM_TdMatchPpr);
 }  // namespace
 
 /// BENCHMARK_MAIN, except that when the caller did not ask for a report
-/// file the JSON goes to BENCH_micro.json in the working directory.
+/// file the JSON goes to BENCH_micro.json in the working directory — and
+/// that default recording is refused unless this binary was configured as
+/// a plain Release build (tools/run_bench.sh is the supported recorder).
+/// An explicit --benchmark_out is always honored.
 int main(int argc, char** argv) {
+  const std::string build_type = PROMPTEM_BENCH_BUILD_TYPE;
+  const std::string sanitize = PROMPTEM_BENCH_SANITIZE;
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
   for (int i = 1; i < argc; ++i) {
@@ -239,12 +325,29 @@ int main(int argc, char** argv) {
   std::string out_flag = "--benchmark_out=BENCH_micro.json";
   std::string format_flag = "--benchmark_out_format=json";
   if (!has_out) {
+    if (build_type != "Release" || !sanitize.empty()) {
+      std::fprintf(stderr,
+                   "bench_micro_kernels: refusing to record "
+                   "BENCH_micro.json from a '%s'%s%s build; use "
+                   "tools/run_bench.sh, or pass --benchmark_out=... to "
+                   "write elsewhere.\n",
+                   build_type.c_str(),
+                   sanitize.empty() ? "" : " + sanitizer=",
+                   sanitize.c_str());
+      return 1;
+    }
     args.push_back(out_flag.data());
     args.push_back(format_flag.data());
   }
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  // The system libbenchmark's library_build_type reflects how the
+  // *library* was compiled; this stamp records how *this project* was.
+  benchmark::AddCustomContext("promptem_build_type", build_type);
+  if (!sanitize.empty()) {
+    benchmark::AddCustomContext("promptem_sanitize", sanitize);
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

@@ -1,7 +1,5 @@
 #include "nn/lstm.h"
 
-#include <numeric>
-
 namespace promptem::nn {
 
 namespace ops = tensor::ops;
@@ -20,12 +18,6 @@ tensor::Tensor Lstm::Forward(const tensor::Tensor& x) const {
   const int t_len = x.dim(0);
   const int h = hidden_dim_;
 
-  std::vector<int> gate_i(h), gate_f(h), gate_g(h), gate_o(h);
-  std::iota(gate_i.begin(), gate_i.end(), 0);
-  std::iota(gate_f.begin(), gate_f.end(), h);
-  std::iota(gate_g.begin(), gate_g.end(), 2 * h);
-  std::iota(gate_o.begin(), gate_o.end(), 3 * h);
-
   // Project the whole input once: [T, 4H].
   tensor::Tensor xproj = wx_.Forward(x);
 
@@ -36,10 +28,13 @@ tensor::Tensor Lstm::Forward(const tensor::Tensor& x) const {
   for (int t = 0; t < t_len; ++t) {
     tensor::Tensor gates = ops::Add(ops::SelectRows(xproj, {t}),
                                     wh_.Forward(h_prev));
-    tensor::Tensor i_gate = ops::Sigmoid(ops::SelectCols(gates, gate_i));
-    tensor::Tensor f_gate = ops::Sigmoid(ops::SelectCols(gates, gate_f));
-    tensor::Tensor g_gate = ops::Tanh(ops::SelectCols(gates, gate_g));
-    tensor::Tensor o_gate = ops::Sigmoid(ops::SelectCols(gates, gate_o));
+    // The four gates are contiguous column blocks of the packed [1, 4H]
+    // pre-activation; slice them as strided views (value- and
+    // gradient-identical to the former SelectCols gathers).
+    tensor::Tensor i_gate = ops::Sigmoid(ops::SliceCols(gates, 0, h));
+    tensor::Tensor f_gate = ops::Sigmoid(ops::SliceCols(gates, h, h));
+    tensor::Tensor g_gate = ops::Tanh(ops::SliceCols(gates, 2 * h, h));
+    tensor::Tensor o_gate = ops::Sigmoid(ops::SliceCols(gates, 3 * h, h));
     tensor::Tensor c_new = ops::Add(ops::Mul(f_gate, c_prev),
                                     ops::Mul(i_gate, g_gate));
     tensor::Tensor h_new = ops::Mul(o_gate, ops::Tanh(c_new));

@@ -21,6 +21,33 @@ void PairEncoder::FitSummarizer(const data::GemDataset& dataset) {
     docs.push_back(text::WordTokenize(data::SerializeRecord(r)));
   }
   tfidf_ = std::make_unique<text::TfIdf>(docs);
+  // The summarizer changes how over-budget records encode; drop any
+  // memoized encodings made without it.
+  cache_owner_ = nullptr;
+  left_cache_.clear();
+  right_cache_.clear();
+}
+
+const std::vector<int>& PairEncoder::CachedEncode(
+    const data::GemDataset& dataset, bool left, int index) const {
+  if (cache_owner_ != &dataset) {
+    cache_owner_ = &dataset;
+    left_cache_.clear();
+    right_cache_.clear();
+    left_cache_.resize(dataset.left_table.size());
+    right_cache_.resize(dataset.right_table.size());
+  }
+  auto& cache = left ? left_cache_ : right_cache_;
+  PROMPTEM_CHECK(index >= 0 &&
+                 static_cast<size_t>(index) < cache.size());
+  auto& slot = cache[static_cast<size_t>(index)];
+  if (slot == nullptr) {
+    const data::Record& record =
+        left ? dataset.left_table[static_cast<size_t>(index)]
+             : dataset.right_table[static_cast<size_t>(index)];
+    slot = std::make_unique<std::vector<int>>(EncodeRecord(record));
+  }
+  return *slot;
 }
 
 std::vector<int> PairEncoder::EncodeRecord(const data::Record& record) const {
@@ -42,8 +69,8 @@ std::vector<int> PairEncoder::EncodeRecord(const data::Record& record) const {
 EncodedPair PairEncoder::Encode(const data::GemDataset& dataset,
                                 const data::PairExample& pair) const {
   EncodedPair out;
-  out.left_ids = EncodeRecord(dataset.Left(pair));
-  out.right_ids = EncodeRecord(dataset.Right(pair));
+  out.left_ids = CachedEncode(dataset, /*left=*/true, pair.left_index);
+  out.right_ids = CachedEncode(dataset, /*left=*/false, pair.right_index);
   out.label = pair.label;
   return out;
 }

@@ -21,6 +21,15 @@ struct EncodedPair {
 
 /// Turns records into EncodedPairs: serialize (§2.2), tokenize, and apply
 /// the Appendix-F TF-IDF summarizer when a side exceeds its token budget.
+///
+/// Record encodings are memoized per (table side, record index): records
+/// are immutable, and self-training re-encodes the same labeled /
+/// unlabeled / valid / test pools every iteration, so each record pays
+/// for SerializeRecord + WordTokenize exactly once per dataset. The cache
+/// follows the dataset identity (and is rebuilt when FitSummarizer
+/// changes the summarizer); it never invalidates otherwise. Memoization
+/// mutates the cache under const, so a PairEncoder must be driven from
+/// one thread — which is how every trainer uses it.
 class PairEncoder {
  public:
   /// `per_side_budget` bounds each record's tokens so the final model input
@@ -46,9 +55,20 @@ class PairEncoder {
   const text::Vocab& vocab() const { return *vocab_; }
 
  private:
+  /// Memoized encoding of one side of `dataset` (left when `left`), keyed
+  /// by record index. Fills the slot on first use.
+  const std::vector<int>& CachedEncode(const data::GemDataset& dataset,
+                                       bool left, int index) const;
+
   const text::Vocab* vocab_;
   int per_side_budget_;
   std::unique_ptr<text::TfIdf> tfidf_;
+
+  /// Identity of the dataset the caches below cover; a different dataset
+  /// (or a summarizer refit) rebuilds them.
+  mutable const data::GemDataset* cache_owner_ = nullptr;
+  mutable std::vector<std::unique_ptr<std::vector<int>>> left_cache_;
+  mutable std::vector<std::unique_ptr<std::vector<int>>> right_cache_;
 };
 
 }  // namespace promptem::em

@@ -243,6 +243,100 @@ void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
   });
 }
 
+void GemmStrided(bool trans_a, bool trans_b, int m, int n, int k,
+                 float alpha, const float* a, int lda, const float* b,
+                 int ldb, float beta, float* c, int ldc) {
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<int64_t>(i) * ldc;
+    if (beta == 0.0f) {
+      std::fill_n(crow, n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (int j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  if (!trans_a && !trans_b) {
+    // C[i,:] += alpha * A[i,p] * B[p,:] — unit-stride inner axpy,
+    // 4-way unrolled over p so each pass over C[i,:] folds four B rows
+    // (short-n callers like attention's P.V with n = head_dim would
+    // otherwise spend most of their time re-reading C).
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<int64_t>(i) * lda;
+      float* crow = c + static_cast<int64_t>(i) * ldc;
+      int p = 0;
+      for (; p + 4 <= k; p += 4) {
+        const float a0 = alpha * arow[p];
+        const float a1 = alpha * arow[p + 1];
+        const float a2 = alpha * arow[p + 2];
+        const float a3 = alpha * arow[p + 3];
+        const float* b0 = b + static_cast<int64_t>(p) * ldb;
+        const float* b1 = b0 + ldb;
+        const float* b2 = b1 + ldb;
+        const float* b3 = b2 + ldb;
+        for (int j = 0; j < n; ++j) {
+          crow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+        }
+      }
+      for (; p < k; ++p) {
+        const float av = alpha * arow[p];
+        const float* brow = b + static_cast<int64_t>(p) * ldb;
+        for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!trans_a && trans_b) {
+    // C[i,j] += alpha * dot(A[i,:], B[j,:]) — unit-stride dots.
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<int64_t>(i) * lda;
+      float* crow = c + static_cast<int64_t>(i) * ldc;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b + static_cast<int64_t>(j) * ldb;
+        float s = 0.0f;
+        for (int p = 0; p < k; ++p) s += arow[p] * brow[p];
+        crow[j] += alpha * s;
+      }
+    }
+  } else if (trans_a && !trans_b) {
+    // A stored (k x m): p-outer so A's row p is unit stride over i and
+    // B's row p broadcasts across C rows.
+    for (int p = 0; p < k; ++p) {
+      const float* ap = a + static_cast<int64_t>(p) * lda;
+      const float* bp = b + static_cast<int64_t>(p) * ldb;
+      for (int i = 0; i < m; ++i) {
+        const float av = alpha * ap[i];
+        float* crow = c + static_cast<int64_t>(i) * ldc;
+        for (int j = 0; j < n; ++j) crow[j] += av * bp[j];
+      }
+    }
+  } else {
+    for (int i = 0; i < m; ++i) {
+      float* crow = c + static_cast<int64_t>(i) * ldc;
+      for (int p = 0; p < k; ++p) {
+        const float av = alpha * a[static_cast<int64_t>(p) * lda + i];
+        for (int j = 0; j < n; ++j) {
+          crow[j] += av * b[static_cast<int64_t>(j) * ldb + p];
+        }
+      }
+    }
+  }
+}
+
+void CopyBlock(const float* src, int ld_src, float* dst, int ld_dst,
+               int rows, int cols) {
+  for (int i = 0; i < rows; ++i) {
+    const float* s = src + static_cast<int64_t>(i) * ld_src;
+    float* d = dst + static_cast<int64_t>(i) * ld_dst;
+    for (int j = 0; j < cols; ++j) d[j] = s[j];
+  }
+}
+
+void AddBlock(const float* src, int ld_src, float* dst, int ld_dst,
+              int rows, int cols) {
+  for (int i = 0; i < rows; ++i) {
+    const float* s = src + static_cast<int64_t>(i) * ld_src;
+    float* d = dst + static_cast<int64_t>(i) * ld_dst;
+    for (int j = 0; j < cols; ++j) d[j] += s[j];
+  }
+}
+
 void SoftmaxRows(const float* x, int rows, int cols, float* out) {
   const int64_t grain =
       static_cast<int64_t>(rows) * cols >= kRowParallelThreshold

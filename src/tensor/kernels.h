@@ -40,6 +40,29 @@ void LayerNormBackward(const float* x, const float* gamma, const float* mean,
                        const float* rstd, const float* dout, int rows,
                        int cols, float* dx, float* dgamma, float* dbeta);
 
+/// Strided general matrix multiply over views into packed buffers:
+/// C = alpha * op(A) * op(B) + beta * C with explicit row strides
+/// (leading dimensions) lda/ldb/ldc. op(A) is m x k, op(B) is k x n, C is
+/// m x n; stored layouts are pre-transpose, as in Gemm. This is the
+/// workhorse of the fused-attention backward, where per-head operands are
+/// column blocks of packed [T, H*hd] buffers (stride = H*hd) and the
+/// score-shaped factors are contiguous [T, T] scratch. Runs on the calling
+/// thread (the caller parallelizes across heads), so it is safe inside a
+/// ParallelFor chunk.
+void GemmStrided(bool trans_a, bool trans_b, int m, int n, int k,
+                 float alpha, const float* a, int lda, const float* b,
+                 int ldb, float beta, float* c, int ldc);
+
+/// dst[i, 0:cols) = src[i, 0:cols) for rows rows, with row strides
+/// ld_src / ld_dst. The view-based column-block copy behind ops::SliceCols.
+void CopyBlock(const float* src, int ld_src, float* dst, int ld_dst,
+               int rows, int cols);
+
+/// dst[i, 0:cols) += src[i, 0:cols) with row strides (the scatter-add
+/// backward of a column-block slice).
+void AddBlock(const float* src, int ld_src, float* dst, int ld_dst,
+              int rows, int cols);
+
 /// Tanh-approximation GELU and its derivative.
 float Gelu(float x);
 float GeluGrad(float x);

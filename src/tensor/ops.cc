@@ -535,6 +535,27 @@ Tensor SelectCols(const Tensor& x, const std::vector<int>& cols) {
   return out;
 }
 
+Tensor SliceCols(const Tensor& x, int col_begin, int count) {
+  PROMPTEM_CHECK(x.ndim() == 2);
+  const int rows = x.dim(0);
+  const int in_cols = x.dim(1);
+  PROMPTEM_CHECK(count > 0 && col_begin >= 0 &&
+                 col_begin + count <= in_cols);
+  Tensor out = Tensor::Zeros({rows, count});
+  kernels::CopyBlock(x.data() + col_begin, in_cols, out.data(), count, rows,
+                     count);
+  if (Track(x)) {
+    auto xi = x.impl();
+    TensorImpl* oi = out.impl().get();
+    Attach(&out, {x}, [xi, oi, rows, in_cols, count, col_begin]() {
+      xi->EnsureGrad();
+      kernels::AddBlock(oi->grad_data(), count,
+                        xi->grad_data() + col_begin, in_cols, rows, count);
+    });
+  }
+  return out;
+}
+
 Tensor ConcatRows(const std::vector<Tensor>& parts) {
   PROMPTEM_CHECK(!parts.empty());
   const int cols = parts[0].dim(1);

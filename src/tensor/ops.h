@@ -69,6 +69,37 @@ Tensor SelectRows(const Tensor& x, const std::vector<int>& rows);
 /// Gathers columns of x at `cols` -> [rows, cols.size()].
 Tensor SelectCols(const Tensor& x, const std::vector<int>& cols);
 
+/// Contiguous column window x[:, col_begin : col_begin + count). Built on
+/// the strided-view machinery (tensor/view.h): the forward is one
+/// block copy with no per-column index vector, and the backward
+/// scatter-adds straight into the window. For an iota column list this is
+/// value- and gradient-identical to SelectCols, just cheaper.
+Tensor SliceCols(const Tensor& x, int col_begin, int count);
+
+/// Fused multi-head scaled-dot-product self-attention over packed
+/// per-head buffers. q, k, v are [T, D] with D = num_heads * head_dim and
+/// head h occupying columns [h*head_dim, (h+1)*head_dim). Returns the
+/// packed [T, D] context (softmax(scale * Q_h K_h^T) with dropout, times
+/// V_h, written directly into head h's column block).
+///
+/// One tiled pass per (head, row-tile) — parallelized via
+/// core::ParallelFor with a pool-size-independent decomposition — reads
+/// the head operands as strided views, runs a streaming (online-max)
+/// softmax so score tiles stay cache-resident, and applies inverted
+/// dropout with keep-scale 1/(1-p). The Bernoulli mask is pre-drawn from
+/// `rng` in the exact order the unfused per-op composition draws it
+/// (head-major, then row-major over the [T, T] score matrix), so masks
+/// are bit-identical to that path and independent of the pool size.
+/// `rng` may be null when dropout_p == 0.
+///
+/// Under grad mode the result carries a single hand-written backward that
+/// reuses cached softmax rows and the seeded mask; with grad mode off the
+/// pass is graph-free and every intermediate (workspace tiles, mask)
+/// draws from the thread's ScratchArena when one is installed.
+Tensor FusedSdpa(const Tensor& q, const Tensor& k, const Tensor& v,
+                 int num_heads, float scale, float dropout_p,
+                 core::Rng* rng);
+
 /// Vertically stacks tensors with equal column counts.
 Tensor ConcatRows(const std::vector<Tensor>& parts);
 

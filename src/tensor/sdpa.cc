@@ -1,0 +1,372 @@
+// Fused multi-head scaled-dot-product attention (ops::FusedSdpa).
+//
+// The unfused composition (SelectCols -> MatMul -> Scale -> Softmax ->
+// Dropout -> MatMul per head, then ConcatCols) materializes the [T, T]
+// score matrix through four separate graph ops and copies every head
+// three times on the way in and once on the way out. This kernel instead:
+//
+//  * reads per-head Q/K/V slices as strided views over the packed
+//    [T, H*hd] buffers (tensor/view.h) and writes head outputs directly
+//    into the packed [T, H*hd] context;
+//  * runs scale -> softmax -> dropout -> attn·V in one tiled pass per
+//    (head, row-tile) with a streaming (online-max) softmax, so score
+//    tiles stay cache-resident and are never graph nodes;
+//  * registers a single hand-written backward that reuses cached softmax
+//    rows and the seeded dropout mask (bit-identical to the unfused
+//    path's mask by construction);
+//  * with grad mode off builds no graph and draws its workspace and mask
+//    from the thread's ScratchArena when one is installed.
+//
+// Determinism: the (head, row-tile) task decomposition and every
+// per-row reduction order are pure functions of (T, H, hd) and the tile
+// constants — never of the pool size — and tasks write disjoint output
+// regions, so results are bitwise identical for any PROMPTEM_NUM_THREADS.
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "tensor/autograd.h"
+#include "tensor/kernels.h"
+#include "tensor/ops.h"
+#include "tensor/view.h"
+
+namespace promptem::tensor::ops {
+
+namespace {
+
+/// Query rows per parallel task and key columns per streaming tile. The
+/// live working set per task is one [kSdpaRowTile, kSdpaKeyTile] score
+/// tile plus a [kSdpaRowTile, hd] output accumulator and the running
+/// max/denominator vectors — small enough to stay in L1/L2 for every
+/// configuration the library runs.
+constexpr int kSdpaRowTile = 32;
+constexpr int kSdpaKeyTile = 64;
+
+/// In-place srow[j] = exp(srow[j] - m) over one score-tile row, via a
+/// Cephes-style polynomial expf: round to the nearest multiple of ln 2,
+/// degree-5 minimax polynomial on the remainder, scale by 2^e through the
+/// exponent bits. Relative error is ~1.2e-7 — far inside the
+/// fused-vs-unfused parity budget — and unlike a libm call both loops
+/// auto-vectorize (the clamp lives in its own pass because gcc refuses to
+/// if-convert a float select feeding the float->int round).
+///
+/// Arguments are always <= 0; inputs below -80 (exp < 2e-35) clamp so the
+/// 2^e bit trick stays in range, and NaN propagates to NaN through the
+/// polynomial.
+inline void ExpRowInPlace(float* srow, int n, float m) {
+  for (int j = 0; j < n; ++j) {
+    const float x = srow[j] - m;
+    srow[j] = x < -80.0f ? -80.0f : x;
+  }
+  for (int j = 0; j < n; ++j) {
+    const float x = srow[j];
+    // e = round(x * log2 e). The +127.5 bias makes the truncating
+    // float->int convert (one SSE2 lane op, unlike std::floor) a correct
+    // floor(y + 0.5) for the always-negative argument.
+    const int e = static_cast<int>(x * 1.44269504089f + 127.5f) - 127;
+    const float z = static_cast<float>(e);
+    // Two-step Cody-Waite reduction keeps the remainder exact in float.
+    float r = x - z * 0.693359375f;
+    r -= z * -2.12194440e-4f;
+    float p = 1.9875691500e-4f;
+    p = p * r + 1.3981999507e-3f;
+    p = p * r + 8.3334519073e-3f;
+    p = p * r + 4.1665795894e-2f;
+    p = p * r + 1.6666665459e-1f;
+    p = p * r + 5.0000001201e-1f;
+    p = p * r * r + r + 1.0f;
+    srow[j] = p * std::bit_cast<float>(static_cast<uint32_t>(e + 127) << 23);
+  }
+}
+
+/// Mirror of ops.cc's graph-node helper (that one is file-local).
+void AttachNode(Tensor* out, std::vector<Tensor> parents,
+                std::function<void()> backward) {
+  TensorImpl* impl = out->impl().get();
+  impl->requires_grad = true;
+  impl->parents.reserve(parents.size());
+  for (const Tensor& p : parents) impl->parents.push_back(p.impl());
+  impl->backward_fn = std::move(backward);
+}
+
+/// Streaming-softmax forward for rows [i0, i1) of one head, whole
+/// row-tile at a time so both GEMMs run blocked. `qh`/`vh` are strided
+/// views of the head's column block; `kt_h` is the head's pre-transposed
+/// [hd, t] key panel (row stride t), which turns the score tile into a
+/// plain NN GEMM — the unit-stride axpy kernel, ~4x the throughput of
+/// the dot-product NT case. `mask` / `p_cache` are this head's [T, T]
+/// slices (null when dropout is off / grad is off). Task scratch: `tile`
+/// is [kSdpaRowTile, kSdpaKeyTile] (scores, then probabilities, in
+/// place), `acc` is [kSdpaRowTile, hd], `mvec`/`lvec` hold each row's
+/// running max and denominator. `out_head` is the head's column block of
+/// the packed output.
+void SdpaForwardTile(const ConstMatView& qh, const float* kt_h,
+                     const ConstMatView& vh, MatView out_head, int i0,
+                     int i1, float scale, const float* mask, float* p_cache,
+                     float* tile, float* acc, float* mvec, float* lvec) {
+  const int t = vh.rows;
+  const int hd = qh.cols;
+  const int rows = i1 - i0;
+  for (int r = 0; r < rows; ++r) {
+    mvec[r] = -std::numeric_limits<float>::infinity();
+    lvec[r] = 0.0f;
+  }
+  std::fill(acc, acc + static_cast<int64_t>(rows) * hd, 0.0f);
+  for (int j0 = 0; j0 < t; j0 += kSdpaKeyTile) {
+    const int jn = std::min(t, j0 + kSdpaKeyTile) - j0;
+    // S_tile = scale * Q_tile . K_h^T, via the transposed key panel.
+    kernels::GemmStrided(false, false, rows, jn, hd, scale, qh.row(i0),
+                         qh.ld, kt_h + j0, t, 0.0f, tile, kSdpaKeyTile);
+    for (int r = 0; r < rows; ++r) {
+      float* srow = tile + static_cast<int64_t>(r) * kSdpaKeyTile;
+      float tile_max = srow[0];
+      for (int j = 1; j < jn; ++j) tile_max = std::max(tile_max, srow[j]);
+      const int i = i0 + r;
+      float* crow = p_cache == nullptr
+                        ? nullptr
+                        : p_cache + static_cast<int64_t>(i) * t;
+      if (tile_max > mvec[r]) {
+        // Online-max rescale: fold the stale max out of the running
+        // accumulator, denominator, and (in train mode) the cached
+        // softmax prefix. exp(-inf - tile_max) == 0 handles the first
+        // tile for free.
+        const float factor = std::exp(mvec[r] - tile_max);
+        lvec[r] *= factor;
+        float* arow = acc + static_cast<int64_t>(r) * hd;
+        for (int c = 0; c < hd; ++c) arow[c] *= factor;
+        if (crow != nullptr) {
+          for (int j = 0; j < j0; ++j) crow[j] *= factor;
+        }
+        mvec[r] = tile_max;
+      }
+      ExpRowInPlace(srow, jn, mvec[r]);
+      // Four accumulation lanes so the (deterministic, fixed-order) sum
+      // is not one serial dependency chain.
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      int j = 0;
+      for (; j + 4 <= jn; j += 4) {
+        s0 += srow[j];
+        s1 += srow[j + 1];
+        s2 += srow[j + 2];
+        s3 += srow[j + 3];
+      }
+      for (; j < jn; ++j) s0 += srow[j];
+      lvec[r] += (s0 + s1) + (s2 + s3);
+      if (crow != nullptr) {
+        for (int j = 0; j < jn; ++j) crow[j0 + j] = srow[j];
+      }
+      // Dropout applies after normalization, so dropped keys still count
+      // toward the denominator; the mask value (0 or keep-scale) weights
+      // only the V accumulation. No zero-skip: NaN/Inf in V must
+      // propagate exactly as in the unfused matmul.
+      if (mask != nullptr) {
+        const float* mrow = mask + static_cast<int64_t>(i) * t + j0;
+        for (int j = 0; j < jn; ++j) srow[j] *= mrow[j];
+      }
+    }
+    // Acc_tile += P_tile . V_tile.
+    kernels::GemmStrided(false, false, rows, hd, jn, 1.0f, tile,
+                         kSdpaKeyTile, vh.row(j0), vh.ld, 1.0f, acc, hd);
+  }
+  for (int r = 0; r < rows; ++r) {
+    const float inv = 1.0f / lvec[r];
+    const int i = i0 + r;
+    const float* arow = acc + static_cast<int64_t>(r) * hd;
+    float* orow = out_head.row(i);
+    for (int c = 0; c < hd; ++c) orow[c] = arow[c] * inv;
+    if (p_cache != nullptr) {
+      float* crow = p_cache + static_cast<int64_t>(i) * t;
+      for (int j = 0; j < t; ++j) crow[j] *= inv;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor FusedSdpa(const Tensor& q, const Tensor& k, const Tensor& v,
+                 int num_heads, float scale, float dropout_p,
+                 core::Rng* rng) {
+  PROMPTEM_CHECK(q.ndim() == 2 && k.ndim() == 2 && v.ndim() == 2);
+  PROMPTEM_CHECK(SameShape(q.shape(), k.shape()) &&
+                 SameShape(q.shape(), v.shape()));
+  const int t = q.dim(0);
+  const int d = q.dim(1);
+  PROMPTEM_CHECK(num_heads > 0 && d % num_heads == 0);
+  PROMPTEM_CHECK(dropout_p >= 0.0f && dropout_p < 1.0f);
+  const int hd = d / num_heads;
+  const int row_tiles = (t + kSdpaRowTile - 1) / kSdpaRowTile;
+  const int64_t tasks = static_cast<int64_t>(num_heads) * row_tiles;
+
+  const bool track =
+      GradEnabled() &&
+      (q.requires_grad() || k.requires_grad() || v.requires_grad());
+
+  // Pre-draw the dropout mask sequentially, in the exact order the
+  // unfused composition consumes `rng` (head-major, row-major within each
+  // head's [T, T] attention matrix): the parallel pass below must not
+  // touch the stream. Allocated as a tensor so an installed ScratchArena
+  // recycles it on graph-free MC-Dropout passes.
+  Tensor mask;
+  if (dropout_p > 0.0f) {
+    PROMPTEM_CHECK(rng != nullptr);
+    const float keep_scale = 1.0f / (1.0f - dropout_p);
+    mask = Tensor::Zeros({num_heads * t, t});
+    float* mp = mask.data();
+    const int64_t n = static_cast<int64_t>(num_heads) * t * t;
+    for (int64_t i = 0; i < n; ++i) {
+      mp[i] = rng->Bernoulli(dropout_p) ? 0.0f : keep_scale;
+    }
+  }
+
+  // Softmax rows cached for the hand-written backward (train mode only).
+  Tensor p_cache;
+  if (track) p_cache = Tensor::Zeros({num_heads * t, t});
+
+  Tensor out = Tensor::Zeros({t, d});
+  // Per-task workspace (score/probability tile + output accumulator +
+  // running max / denominator vectors), one slab so the graph-free path
+  // costs a single arena draw per forward.
+  const int per_task =
+      kSdpaRowTile * kSdpaKeyTile + kSdpaRowTile * hd + 2 * kSdpaRowTile;
+  Tensor workspace = Tensor::Zeros({static_cast<int>(tasks), per_task});
+  // Per-head transposed key panels [hd, t]: scores then come from the
+  // unit-stride NN GEMM kernel instead of the much slower dot-product NT
+  // case, and each panel is transposed once and shared by every row-tile
+  // task of that head.
+  Tensor k_t = Tensor::Zeros({num_heads, hd * t});
+
+  const float* mask_data = mask.defined() ? mask.data() : nullptr;
+  float* cache_data = p_cache.defined() ? p_cache.data() : nullptr;
+  float* ws = workspace.data();
+  float* kt_data = k_t.data();
+  const float* k_data = k.data();
+  const int64_t head_elems = static_cast<int64_t>(t) * t;
+
+  core::ParallelFor(0, num_heads, 1, [&](int64_t hb, int64_t he) {
+    for (int64_t h = hb; h < he; ++h) {
+      float* panel = kt_data + h * static_cast<int64_t>(hd) * t;
+      for (int i = 0; i < t; ++i) {
+        const float* krow = k_data + static_cast<int64_t>(i) * d + h * hd;
+        for (int c = 0; c < hd; ++c) {
+          panel[static_cast<int64_t>(c) * t + i] = krow[c];
+        }
+      }
+    }
+  });
+
+  core::ParallelFor(0, tasks, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t task = begin; task < end; ++task) {
+      const int h = static_cast<int>(task / row_tiles);
+      const int rt = static_cast<int>(task % row_tiles);
+      const int i0 = rt * kSdpaRowTile;
+      const int i1 = std::min(t, i0 + kSdpaRowTile);
+      float* tile = ws + task * per_task;
+      float* acc = tile + kSdpaRowTile * kSdpaKeyTile;
+      float* mvec = acc + kSdpaRowTile * hd;
+      float* lvec = mvec + kSdpaRowTile;
+      SdpaForwardTile(
+          ColBlockView(q.data(), t, d, h * hd, hd),
+          kt_data + h * static_cast<int64_t>(hd) * t,
+          ColBlockView(v.data(), t, d, h * hd, hd),
+          MutColBlockView(out.data(), t, d, h * hd, hd), i0, i1, scale,
+          mask_data == nullptr ? nullptr : mask_data + h * head_elems,
+          cache_data == nullptr ? nullptr : cache_data + h * head_elems,
+          tile, acc, mvec, lvec);
+    }
+  });
+
+  if (!track) return out;
+
+  auto qi = q.impl();
+  auto ki = k.impl();
+  auto vi = v.impl();
+  TensorImpl* oi = out.impl().get();
+  AttachNode(&out, {q, k, v}, [qi, ki, vi, oi, p_cache, mask, t, d,
+                               num_heads, hd, scale]() {
+    const float* dout = oi->grad_data();
+    // Resolve grad sinks once on the backward thread: GradShard scopes
+    // are thread-local, so pool workers must receive raw pointers.
+    float* dq = nullptr;
+    float* dk = nullptr;
+    float* dv = nullptr;
+    if (qi->requires_grad) {
+      qi->EnsureGrad();
+      dq = qi->grad_data();
+    }
+    if (ki->requires_grad) {
+      ki->EnsureGrad();
+      dk = ki->grad_data();
+    }
+    if (vi->requires_grad) {
+      vi->EnsureGrad();
+      dv = vi->grad_data();
+    }
+    const float* qd = qi->storage->data();
+    const float* kd = ki->storage->data();
+    const float* vd = vi->storage->data();
+    const float* mk = mask.defined() ? mask.data() : nullptr;
+    const float* cache = p_cache.data();
+    const int64_t head_elems = static_cast<int64_t>(t) * t;
+    // Per-head scratch: dS (score-shaped) plus, under dropout, the
+    // masked probabilities A = mask .* P.
+    const int64_t per_head = (mk == nullptr ? 1 : 2) * head_elems;
+    std::vector<float> scratch(static_cast<size_t>(num_heads) * per_head);
+    // Heads write disjoint column blocks of dq/dk/dv, so the parallel
+    // loop is race-free and bitwise deterministic at any pool size.
+    core::ParallelFor(0, num_heads, 1, [&](int64_t hb, int64_t he) {
+      for (int64_t h = hb; h < he; ++h) {
+        const float* P = cache + h * head_elems;
+        float* dS = scratch.data() + h * per_head;
+        const float* mh = mk == nullptr ? nullptr : mk + h * head_elems;
+        const float* doh = dout + h * hd;
+        // dV_h += A^T dO_h with A = mask .* P (A = P when dropout off).
+        const float* a = P;
+        if (mh != nullptr) {
+          float* masked = dS + head_elems;
+          for (int64_t idx = 0; idx < head_elems; ++idx) {
+            masked[idx] = P[idx] * mh[idx];
+          }
+          a = masked;
+        }
+        if (dv != nullptr) {
+          kernels::GemmStrided(true, false, t, hd, t, 1.0f, a, t, doh, d,
+                               1.0f, dv + h * hd, d);
+        }
+        if (dq == nullptr && dk == nullptr) continue;
+        // dA = dO_h V_h^T, then dP = mask .* dA, then the softmax
+        // backward dS = P .* (dP - rowsum(dP .* P)), all in one buffer.
+        kernels::GemmStrided(false, true, t, t, hd, 1.0f, doh, d,
+                             vd + h * hd, d, 0.0f, dS, t);
+        for (int i = 0; i < t; ++i) {
+          const float* pi = P + static_cast<int64_t>(i) * t;
+          float* dsi = dS + static_cast<int64_t>(i) * t;
+          if (mh != nullptr) {
+            const float* mi = mh + static_cast<int64_t>(i) * t;
+            for (int j = 0; j < t; ++j) dsi[j] *= mi[j];
+          }
+          float dot = 0.0f;
+          for (int j = 0; j < t; ++j) dot += dsi[j] * pi[j];
+          for (int j = 0; j < t; ++j) dsi[j] = pi[j] * (dsi[j] - dot);
+        }
+        if (dq != nullptr) {
+          kernels::GemmStrided(false, false, t, hd, t, scale, dS, t,
+                               kd + h * hd, d, 1.0f, dq + h * hd, d);
+        }
+        if (dk != nullptr) {
+          kernels::GemmStrided(true, false, t, hd, t, scale, dS, t,
+                               qd + h * hd, d, 1.0f, dk + h * hd, d);
+        }
+      }
+    });
+  });
+  return out;
+}
+
+}  // namespace promptem::tensor::ops

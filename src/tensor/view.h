@@ -1,0 +1,69 @@
+#ifndef PROMPTEM_TENSOR_VIEW_H_
+#define PROMPTEM_TENSOR_VIEW_H_
+
+#include <cstdint>
+
+#include "core/status.h"
+#include "tensor/tensor.h"
+
+namespace promptem::tensor {
+
+/// Lightweight non-owning 2-D windows over packed row-major buffers.
+///
+/// A view is (data, rows, cols, ld) where `ld` is the row stride of the
+/// underlying buffer — `row(i)` starts at `data + i * ld`. Views let the
+/// fused attention kernel and the LSTM gate slicing read per-head /
+/// per-gate column blocks of a packed [T, H*hd] (or [T, 4H]) buffer in
+/// place, instead of gathering them into fresh tensors with SelectCols.
+/// Views carry no graph state and never outlive the tensor they window.
+struct ConstMatView {
+  const float* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+  int ld = 0;
+
+  const float* row(int i) const {
+    return data + static_cast<int64_t>(i) * ld;
+  }
+  float at(int i, int j) const { return row(i)[j]; }
+};
+
+/// Mutable variant of ConstMatView.
+struct MatView {
+  float* data = nullptr;
+  int rows = 0;
+  int cols = 0;
+  int ld = 0;
+
+  float* row(int i) const { return data + static_cast<int64_t>(i) * ld; }
+
+  ConstMatView as_const() const { return {data, rows, cols, ld}; }
+};
+
+/// Column block [col_begin, col_begin + cols) of a packed rows x total_cols
+/// buffer. The checked factories below are the only way user code should
+/// form views over tensor storage.
+inline ConstMatView ColBlockView(const float* base, int rows, int total_cols,
+                                 int col_begin, int cols) {
+  PROMPTEM_CHECK(base != nullptr && rows >= 0 && cols > 0);
+  PROMPTEM_CHECK(col_begin >= 0 && col_begin + cols <= total_cols);
+  return {base + col_begin, rows, cols, total_cols};
+}
+
+inline MatView MutColBlockView(float* base, int rows, int total_cols,
+                               int col_begin, int cols) {
+  PROMPTEM_CHECK(base != nullptr && rows >= 0 && cols > 0);
+  PROMPTEM_CHECK(col_begin >= 0 && col_begin + cols <= total_cols);
+  return {base + col_begin, rows, cols, total_cols};
+}
+
+/// Column block of a 2-D tensor's values (no graph edge; the caller keeps
+/// the tensor alive for the view's lifetime).
+inline ConstMatView ColBlockView(const Tensor& t, int col_begin, int cols) {
+  PROMPTEM_CHECK(t.ndim() == 2);
+  return ColBlockView(t.data(), t.dim(0), t.dim(1), col_begin, cols);
+}
+
+}  // namespace promptem::tensor
+
+#endif  // PROMPTEM_TENSOR_VIEW_H_
