@@ -3,8 +3,10 @@
 #include <sys/stat.h>
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "core/string_util.h"
@@ -29,6 +31,25 @@ core::Result<std::vector<std::string>> ReadLines(const std::string& path) {
     lines.push_back(line);
   }
   return lines;
+}
+
+/// Strict decimal-integer parse: the whole trimmed cell must be a number
+/// that fits in int. atoi-style parsing would quietly turn garbage like
+/// "1x" or "" into an index, which is exactly the silent-corruption mode
+/// the pair loaders must reject.
+bool ParseIntCell(const std::string& cell, int* out) {
+  const std::string s = core::Trim(cell);
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
 }
 
 /// True when the cell parses fully as a decimal number.
@@ -175,9 +196,12 @@ core::Result<std::vector<PairExample>> LoadPairsCsv(const std::string& path,
                           i + 1));
     }
     PairExample pair;
-    pair.left_index = std::atoi(cells[0].c_str());
-    pair.right_index = std::atoi(cells[1].c_str());
-    pair.label = std::atoi(cells[2].c_str());
+    if (!ParseIntCell(cells[0], &pair.left_index) ||
+        !ParseIntCell(cells[1], &pair.right_index) ||
+        !ParseIntCell(cells[2], &pair.label)) {
+      return core::Status::InvalidArgument(core::StrFormat(
+          "%s line %zu: non-integer pair field", path.c_str(), i + 1));
+    }
     if (pair.left_index < 0 || pair.left_index >= left_size ||
         pair.right_index < 0 || pair.right_index >= right_size ||
         (pair.label != 0 && pair.label != 1)) {
@@ -215,7 +239,9 @@ core::Result<GemDataset> LoadGemDataset(const std::string& dir,
 
 core::Result<std::string> SaveTable(const std::vector<Record>& table,
                                     const std::string& stem) {
-  PROMPTEM_CHECK(!table.empty());
+  if (table.empty()) {
+    return core::Status::InvalidArgument("cannot save empty table: " + stem);
+  }
   const RecordFormat format = table.front().format;
   for (const auto& r : table) {
     if (r.format != format) {
@@ -241,8 +267,15 @@ core::Result<std::string> SaveTable(const std::vector<Record>& table,
               "relational rows must share one schema for CSV export");
         }
         for (size_t c = 0; c < record.attrs.size(); ++c) {
+          const Value& v = record.attrs[c].second;
+          if (v.kind() != Value::Kind::kString &&
+              v.kind() != Value::Kind::kNumber) {
+            return core::Status::InvalidArgument(
+                "relational cell '" + record.attrs[c].first +
+                "' is nested; CSV cells must be flat");
+          }
           if (c > 0) out << ',';
-          out << CsvEscape(ValueToCell(record.attrs[c].second));
+          out << CsvEscape(ValueToCell(v));
         }
         out << '\n';
       }

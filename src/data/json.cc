@@ -136,6 +136,28 @@ class JsonParser {
     }
   }
 
+  /// Reads the four hex digits of a \uXXXX escape (cursor past "\u").
+  core::Result<unsigned> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      return core::Status::InvalidArgument("truncated \\u escape");
+    }
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code += static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code += static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code += static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return core::Status::InvalidArgument("bad \\u escape digit");
+      }
+    }
+    return code;
+  }
+
   core::Result<std::string> ParseString() {
     PROMPTEM_CHECK(Consume('"'));
     std::string out;
@@ -174,31 +196,43 @@ class JsonParser {
           out.push_back('\t');
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            return core::Status::InvalidArgument("truncated \\u escape");
+          core::Result<unsigned> unit = ParseHex4();
+          if (!unit.ok()) return unit.status();
+          unsigned code = unit.value();
+          if (code >= 0xDC00 && code <= 0xDFFF) {
+            return core::Status::InvalidArgument(
+                "unpaired low surrogate in \\u escape");
           }
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') {
-              code += static_cast<unsigned>(h - '0');
-            } else if (h >= 'a' && h <= 'f') {
-              code += static_cast<unsigned>(h - 'a' + 10);
-            } else if (h >= 'A' && h <= 'F') {
-              code += static_cast<unsigned>(h - 'A' + 10);
-            } else {
-              return core::Status::InvalidArgument("bad \\u escape digit");
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: must be immediately followed by "\uDC00".."
+            // \uDFFF"; the pair combines to one non-BMP code point.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return core::Status::InvalidArgument(
+                  "unpaired high surrogate in \\u escape");
             }
+            pos_ += 2;
+            core::Result<unsigned> low = ParseHex4();
+            if (!low.ok()) return low.status();
+            if (low.value() < 0xDC00 || low.value() > 0xDFFF) {
+              return core::Status::InvalidArgument(
+                  "high surrogate not followed by low surrogate");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low.value() - 0xDC00);
           }
-          // UTF-8 encode the BMP code point.
+          // UTF-8 encode the code point (1-4 bytes).
           if (code < 0x80) {
             out.push_back(static_cast<char>(code));
           } else if (code < 0x800) {
             out.push_back(static_cast<char>(0xC0 | (code >> 6)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
+          } else if (code < 0x10000) {
             out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
             out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
           }

@@ -1,8 +1,12 @@
 #include "lm/pretrained_lm.h"
 
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+
+#include "core/string_util.h"
 
 #include "core/log.h"
 #include "data/benchmarks.h"
@@ -56,21 +60,53 @@ core::Status PretrainedLM::Save(const std::string& path_prefix) const {
   return nn::SaveCheckpoint(*encoder_, path_prefix + ".ckpt");
 }
 
+namespace {
+
+/// Rejects architecture lines that are syntactically readable but could
+/// only come from a corrupt or doctored .config file. The caps are far
+/// above any configuration this library builds, and they bound the
+/// allocation a bad config could otherwise trigger when the encoder is
+/// constructed below.
+core::Status ValidateLoadedConfig(const nn::TransformerConfig& config,
+                                  int vocab_size,
+                                  const std::string& path_prefix) {
+  auto bad = [&](const char* what) {
+    return core::Status::InvalidArgument(
+        core::StrFormat("implausible config for %s: %s",
+                        path_prefix.c_str(), what));
+  };
+  if (config.vocab_size != vocab_size) {
+    return core::Status::InvalidArgument(
+        "config/vocab mismatch for " + path_prefix);
+  }
+  if (config.dim <= 0 || config.dim > (1 << 16)) return bad("dim");
+  if (config.num_layers <= 0 || config.num_layers > 1024) {
+    return bad("num_layers");
+  }
+  if (config.num_heads <= 0 || config.num_heads > config.dim ||
+      config.dim % config.num_heads != 0) {
+    return bad("num_heads");
+  }
+  if (config.ffn_dim <= 0 || config.ffn_dim > (1 << 20)) {
+    return bad("ffn_dim");
+  }
+  if (config.max_seq_len <= 0 || config.max_seq_len > (1 << 20)) {
+    return bad("max_seq_len");
+  }
+  if (!(config.dropout >= 0.0f && config.dropout < 1.0f)) {
+    return bad("dropout");
+  }
+  return core::Status::OK();
+}
+
+}  // namespace
+
 core::Result<std::unique_ptr<PretrainedLM>> PretrainedLM::Load(
     const std::string& path_prefix) {
-  std::ifstream vf(path_prefix + ".vocab");
-  if (!vf) {
-    return core::Status::IOError("cannot read vocab: " + path_prefix);
-  }
+  auto vocab = text::LoadVocabFile(path_prefix + ".vocab");
+  if (!vocab.ok()) return vocab.status();
   auto lm = std::unique_ptr<PretrainedLM>(new PretrainedLM());
-  std::string line;
-  int index = 0;
-  while (std::getline(vf, line)) {
-    if (index >= text::SpecialTokens::kCount) {
-      lm->vocab_.AddToken(line);
-    }
-    ++index;
-  }
+  lm->vocab_ = std::move(vocab).value();
 
   std::ifstream cf(path_prefix + ".config");
   if (!cf) {
@@ -80,10 +116,13 @@ core::Result<std::unique_ptr<PretrainedLM>> PretrainedLM::Load(
   cf >> config.vocab_size >> config.max_seq_len >> config.dim >>
       config.num_layers >> config.num_heads >> config.ffn_dim >>
       config.dropout;
-  if (!cf || config.vocab_size != lm->vocab_.size()) {
+  if (!cf) {
     return core::Status::InvalidArgument(
-        "config/vocab mismatch for " + path_prefix);
+        "unparseable config for " + path_prefix);
   }
+  core::Status valid =
+      ValidateLoadedConfig(config, lm->vocab_.size(), path_prefix);
+  if (!valid.ok()) return valid;
   lm->config_ = config;
   core::Rng init_rng(1);  // overwritten by the checkpoint below
   lm->encoder_ = std::make_unique<nn::TransformerEncoder>(config, &init_rng);
@@ -112,6 +151,14 @@ std::unique_ptr<PretrainedLM> GetOrCreateSharedLM(
   auto loaded = PretrainedLM::Load(path_prefix);
   if (loaded.ok()) {
     return std::move(loaded).value();
+  }
+  // A missing cache is the normal first-run path; a cache that exists but
+  // fails validation deserves a visible warning before we fall back.
+  struct stat cache_stat;
+  if (::stat((path_prefix + ".vocab").c_str(), &cache_stat) == 0 ||
+      ::stat((path_prefix + ".ckpt").c_str(), &cache_stat) == 0) {
+    PROMPTEM_LOG(Warn) << "ignoring unusable LM cache at " << path_prefix
+                       << ": " << loaded.status().ToString();
   }
   PROMPTEM_LOG(Info) << "pre-training shared LM (cache miss at "
                      << path_prefix << ")";

@@ -98,6 +98,14 @@ std::vector<float> McEl2nScoreBatch(PairClassifier* model,
                                     const std::vector<EncodedPair>& xs,
                                     int passes, core::Rng* rng) {
   PROMPTEM_CHECK(passes >= 1);
+  // Same contract as scalar McEl2nScore: EL2N needs a one-hot target, so
+  // an unlabeled pair (label -1) in the batch is a caller bug — catch it
+  // before the parallel region rather than letting it silently poison the
+  // pruning scores.
+  for (const auto& x : xs) {
+    PROMPTEM_CHECK_MSG(x.label == 0 || x.label == 1,
+                       "McEl2nScoreBatch requires labeled pairs");
+  }
   ScopedTrainingMode training(model->AsModule());
   std::vector<uint64_t> seeds(xs.size());
   for (auto& s : seeds) s = rng->NextU64();

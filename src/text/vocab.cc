@@ -1,7 +1,10 @@
 #include "text/vocab.h"
 
 #include <algorithm>
+#include <fstream>
 #include <map>
+
+#include "core/string_util.h"
 
 namespace promptem::text {
 
@@ -77,6 +80,42 @@ Vocab BuildVocab(const std::vector<std::vector<std::string>>& documents,
     if (count < min_count) break;
     if (max_size > 0 && vocab.size() >= max_size) break;
     vocab.AddToken(token);
+  }
+  return vocab;
+}
+
+core::Result<Vocab> LoadVocabFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return core::Status::IOError("cannot read vocab: " + path);
+  Vocab vocab;
+  std::string line;
+  int index = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (index < SpecialTokens::kCount) {
+      if (line != SpecialTokens::Name(index)) {
+        return core::Status::InvalidArgument(core::StrFormat(
+            "%s line %d: expected special token %s", path.c_str(),
+            index + 1, SpecialTokens::Name(index)));
+      }
+    } else {
+      if (line.empty()) {
+        return core::Status::InvalidArgument(core::StrFormat(
+            "%s line %d: empty vocab token", path.c_str(), index + 1));
+      }
+      if (vocab.Contains(line)) {
+        return core::Status::InvalidArgument(core::StrFormat(
+            "%s line %d: duplicate vocab token '%s'", path.c_str(),
+            index + 1, line.c_str()));
+      }
+      vocab.AddToken(line);
+    }
+    ++index;
+  }
+  if (index < SpecialTokens::kCount) {
+    return core::Status::InvalidArgument(
+        core::StrFormat("%s: vocab truncated (%d of %d special tokens)",
+                        path.c_str(), index, SpecialTokens::kCount));
   }
   return vocab;
 }

@@ -58,6 +58,14 @@ Vocab BuildVocab(const std::vector<std::vector<std::string>>& documents,
                  int min_count, int max_size,
                  const std::vector<std::string>& always_keep = {});
 
+/// Loads a vocabulary saved as one token per line in id order (the format
+/// lm::PretrainedLM::Save writes). The file is validated as untrusted
+/// input: the first SpecialTokens::kCount lines must be exactly the
+/// special-token names, and the remaining lines must be non-empty and
+/// free of duplicates — so a truncated, shifted, or doctored vocab file
+/// surfaces as InvalidArgument instead of silently remapping token ids.
+core::Result<Vocab> LoadVocabFile(const std::string& path);
+
 }  // namespace promptem::text
 
 #endif  // PROMPTEM_TEXT_VOCAB_H_

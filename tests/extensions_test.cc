@@ -53,6 +53,40 @@ TEST(JsonTest, UnicodeEscapeUtf8) {
   EXPECT_EQ(v.value().as_string(), "\xC3\xA9");
 }
 
+TEST(JsonTest, SurrogatePairsDecodeToUtf8) {
+  // U+1F600 (emoji), U+10000 (first non-BMP), U+10FFFF (last code point).
+  EXPECT_EQ(data::ParseJson(R"("\uD83D\uDE00")").value().as_string(),
+            "\xF0\x9F\x98\x80");
+  EXPECT_EQ(data::ParseJson(R"("\uD800\uDC00")").value().as_string(),
+            "\xF0\x90\x80\x80");
+  EXPECT_EQ(data::ParseJson(R"("\uDBFF\uDFFF")").value().as_string(),
+            "\xF4\x8F\xBF\xBF");
+  // Mixed with a BMP escape and plain text on both sides.
+  EXPECT_EQ(data::ParseJson(R"("a\u00e9\uD83D\uDE00z")").value().as_string(),
+            "a\xC3\xA9\xF0\x9F\x98\x80z");
+}
+
+TEST(JsonTest, UnpairedSurrogatesRejected) {
+  EXPECT_FALSE(data::ParseJson(R"("\uD83D")").ok());       // high, then end
+  EXPECT_FALSE(data::ParseJson(R"("\uD83Dxy")").ok());     // high, then text
+  EXPECT_FALSE(data::ParseJson(R"("\uD83D\n")").ok());     // high, then \n
+  EXPECT_FALSE(data::ParseJson(R"("\uD83D\uD83D")").ok()); // high twice
+  EXPECT_FALSE(data::ParseJson(R"("\uD83DA")").ok()); // high then BMP
+  EXPECT_FALSE(data::ParseJson(R"("\uDC00")").ok());       // lone low
+}
+
+TEST(JsonTest, SurrogateRoundTripThroughJsonl) {
+  // The writer passes UTF-8 bytes through raw; the reader must produce
+  // the same bytes from the escaped form, so both spellings round-trip.
+  auto v = data::ParseJson(R"({"name":"\uD83D\uDE00 deluxe"})");
+  ASSERT_TRUE(v.ok());
+  auto again = data::ParseJson(data::ToJson(v.value()));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(data::ToJson(v.value()), data::ToJson(again.value()));
+  EXPECT_EQ(again.value().as_object()[0].second.as_string(),
+            "\xF0\x9F\x98\x80 deluxe");
+}
+
 TEST(JsonTest, RejectsMalformed) {
   EXPECT_FALSE(data::ParseJson("{").ok());
   EXPECT_FALSE(data::ParseJson("[1,]").ok());

@@ -334,6 +334,79 @@ TEST(SerializeTest, LoadMissingFileFails) {
   EXPECT_FALSE(LoadCheckpoint(&a, "/tmp/does_not_exist_promptem").ok());
 }
 
+// Bare parameter holder for serialization edge cases the real layers
+// never produce (zero-element tensors, no parameters, duplicate names).
+class ParamBag : public Module {
+ public:
+  tensor::Tensor Add(const std::string& name, tensor::Tensor t) {
+    return RegisterParameter(name, std::move(t));
+  }
+};
+
+TEST(SerializeTest, ZeroElementTensorRoundTrips) {
+  ParamBag a;
+  a.Add("empty", tensor::Tensor::Zeros({0, 3}, true));
+  tensor::Tensor w = a.Add("w", tensor::Tensor::Zeros({2, 2}, true));
+  w.data()[3] = 7.0f;
+  const std::string path = "/tmp/promptem_test_ckpt_zero.bin";
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  ParamBag b;
+  b.Add("empty", tensor::Tensor::Zeros({0, 3}, true));
+  tensor::Tensor w2 = b.Add("w", tensor::Tensor::Zeros({2, 2}, true));
+  ASSERT_TRUE(LoadCheckpoint(&b, path).ok());
+  EXPECT_EQ(w2.at(1, 1), 7.0f);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, EmptyModuleRoundTrips) {
+  ParamBag a;
+  const std::string path = "/tmp/promptem_test_ckpt_empty.bin";
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  ParamBag b;
+  EXPECT_TRUE(LoadCheckpoint(&b, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, DuplicateParamNamesRejectedOnSave) {
+  ParamBag a;
+  a.Add("w", tensor::Tensor::Zeros({2}, true));
+  a.Add("w", tensor::Tensor::Zeros({2}, true));
+  const std::string path = "/tmp/promptem_test_ckpt_dup.bin";
+  core::Status st = SaveCheckpoint(a, path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), core::StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, SaveToUnwritablePathReturnsStatus) {
+  core::Rng rng(1);
+  Mlp a({2, 2}, &rng);
+  core::Status st = SaveCheckpoint(a, "/no_such_dir_promptem/x.ckpt");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), core::StatusCode::kIOError);
+}
+
+TEST(SerializeTest, NonStrictSkipsShapeMismatchWithWarning) {
+  core::Rng rng(1);
+  Mlp a({4, 6, 2}, &rng);
+  const std::string path = "/tmp/promptem_test_ckpt_nonstrict.bin";
+  ASSERT_TRUE(SaveCheckpoint(a, path).ok());
+  core::Rng rng2(2);
+  Mlp b({5, 8, 3}, &rng2);  // every parameter shape differs from a's
+  auto before = b.NamedParameters();
+  std::vector<float> first_values;
+  for (const auto& np : before) first_values.push_back(np.param.data()[0]);
+  // Strict keeps the hard error; non-strict skips every mismatched entry
+  // and leaves the module's own values untouched.
+  EXPECT_FALSE(LoadCheckpoint(&b, path, /*strict=*/true).ok());
+  EXPECT_TRUE(LoadCheckpoint(&b, path, /*strict=*/false).ok());
+  auto after = b.NamedParameters();
+  for (size_t i = 0; i < after.size(); ++i) {
+    EXPECT_EQ(after[i].param.data()[0], first_values[i]) << after[i].name;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(SerializeTest, CopyParameters) {
   core::Rng rng1(1), rng2(2);
   Mlp a({3, 3}, &rng1);

@@ -3,6 +3,7 @@
 // lightweight self-training loop. A tiny shared LM is pre-trained once per
 // test binary.
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
@@ -434,6 +435,37 @@ TEST(UncertaintyTest, El2nReflectsError) {
   EXPECT_NE(score_as_0, score_as_1);
   EXPECT_GE(score_as_0, 0.0f);
   EXPECT_LE(score_as_0, std::sqrt(2.0f) + 1e-5f);
+}
+
+TEST(UncertaintyTest, El2nBatchMatchesScalar) {
+  core::Rng rng(45);
+  FinetuneModel model(TinyLM(), &rng);
+  EncodedFixture f = MakeEncoded();
+  std::vector<EncodedPair> xs(
+      f.train.begin(),
+      f.train.begin() + std::min<size_t>(3, f.train.size()));
+  core::Rng batch_rng(6);
+  std::vector<float> batch = McEl2nScoreBatch(&model, xs, 4, &batch_rng);
+  ASSERT_EQ(batch.size(), xs.size());
+  // Both entry points draw one base seed per sample from the caller's rng
+  // in order, so replaying the scalar path with a same-seeded rng must
+  // reproduce the batch scores exactly.
+  core::Rng scalar_rng(6);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_FLOAT_EQ(
+        batch[i],
+        McEl2nScore(&model, xs[i], xs[i].label, 4, &scalar_rng));
+  }
+}
+
+TEST(UncertaintyTest, El2nBatchRejectsUnlabeledPairs) {
+  core::Rng rng(46);
+  FinetuneModel model(TinyLM(), &rng);
+  EncodedFixture f = MakeEncoded();
+  std::vector<EncodedPair> xs(f.train.begin(), f.train.begin() + 2);
+  xs[1].label = -1;  // unlabeled pair slipped into a pruning batch
+  core::Rng mc_rng(7);
+  EXPECT_DEATH(McEl2nScoreBatch(&model, xs, 2, &mc_rng), "labeled pairs");
 }
 
 // ---------------------------------------------------------------------------

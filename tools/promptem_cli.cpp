@@ -11,9 +11,11 @@
 // Dataset directories follow src/data/io.h's layout (left.csv|jsonl|txt,
 // right.*, pairs_{train,valid,test}.csv).
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <optional>
 #include <string>
 
@@ -57,6 +59,35 @@ std::optional<baselines::Method> MethodByName(const std::string& name) {
     if (name == baselines::MethodName(m)) return m;
   }
   return std::nullopt;
+}
+
+// Strict numeric option parsing: a value like "0.1x" or "" would
+// otherwise be silently read as 0 by atof/atoi and then abort deep inside
+// the split helpers; bad flags must instead exit 2 with a message.
+
+bool ParseDoubleArg(const char* text, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseIntArg(const char* text, long long* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+[[noreturn]] void BadOption(const std::string& flag, const char* value,
+                            const char* expected) {
+  std::fprintf(stderr, "bad value '%s' for %s (expected %s)\n", value,
+               flag.c_str(), expected);
+  std::exit(2);
 }
 
 }  // namespace
@@ -103,11 +134,25 @@ int main(int argc, char** argv) {
     } else if (arg == "--method") {
       method_name = next();
     } else if (arg == "--rate") {
-      rate = std::atof(next());
+      const char* value = next();
+      if (!ParseDoubleArg(value, &rate) || rate <= 0.0 || rate > 1.0) {
+        BadOption(arg, value, "a rate in (0,1]");
+      }
     } else if (arg == "--labels") {
-      labels = std::atoi(next());
+      const char* value = next();
+      long long parsed = 0;
+      if (!ParseIntArg(value, &parsed) || parsed < 1 ||
+          parsed > std::numeric_limits<int>::max()) {
+        BadOption(arg, value, "a positive label budget");
+      }
+      labels = static_cast<int>(parsed);
     } else if (arg == "--seed") {
-      seed = static_cast<uint64_t>(std::atoll(next()));
+      const char* value = next();
+      long long parsed = 0;
+      if (!ParseIntArg(value, &parsed) || parsed < 0) {
+        BadOption(arg, value, "a non-negative integer");
+      }
+      seed = static_cast<uint64_t>(parsed);
     } else if (arg == "--lm") {
       lm_prefix = next();
     } else if (arg == "--export") {
@@ -120,6 +165,10 @@ int main(int argc, char** argv) {
 
   if (dataset_name.empty() && dir.empty()) {
     PrintUsage();
+    return 2;
+  }
+  if (!dataset_name.empty() && !dir.empty()) {
+    std::fprintf(stderr, "--dataset and --dir are mutually exclusive\n");
     return 2;
   }
 

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Runs the full check matrix: the plain Release test suite, the
+# ASan-labeled suite (which includes the fault-injection sweeps), and the
+# TSan-labeled suite, each in its own build directory.
+#
+# Usage: tools/run_checks.sh [extra ctest flags...]
+#
+# Build directories: build-checks (Release), build-asan, build-tsan.
+# Existing directories are reused; delete them for a from-scratch run.
+# Extra flags (e.g. -R Checkpoint) are passed to every ctest invocation.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${repo_root}"
+
+jobs="$(nproc)"
+
+run_suite() {
+  local build_dir="$1"
+  local label="$2"
+  shift 2
+  echo "=== ${build_dir} ($*) ==="
+  cmake -B "${build_dir}" -S . "$@" >/dev/null
+  cmake --build "${build_dir}" -j "${jobs}" >/dev/null
+  if [[ -n "${label}" ]]; then
+    ctest --test-dir "${build_dir}" --output-on-failure -L "${label}" \
+          -j "${jobs}" "${extra_flags[@]}"
+  else
+    ctest --test-dir "${build_dir}" --output-on-failure \
+          -j "${jobs}" "${extra_flags[@]}"
+  fi
+}
+
+extra_flags=("$@")
+
+# 1. The whole suite under a plain Release build.
+run_suite build-checks "" -DCMAKE_BUILD_TYPE=Release
+
+# 2. The memory-safety set (execution engine, fused attention, fault
+#    injection) under AddressSanitizer.
+run_suite build-asan asan -DPROMPTEM_SANITIZE=address
+
+# 3. The concurrency set (pool determinism, fused attention) under
+#    ThreadSanitizer.
+run_suite build-tsan tsan -DPROMPTEM_SANITIZE=thread
+
+echo "run_checks.sh: all suites passed"
