@@ -1,15 +1,7 @@
 #include "baselines/common.h"
 
-#include "baselines/bert_ft.h"
-#include "baselines/dader.h"
-#include "baselines/deepmatcher.h"
-#include "baselines/ditto.h"
-#include "baselines/rotom.h"
-#include "baselines/sentence_bert.h"
-#include "baselines/tdmatch.h"
-#include "baselines/tdmatch_star.h"
-#include "core/mem_tracker.h"
-#include "core/timer.h"
+#include "baselines/matchers.h"
+#include "core/status.h"
 
 namespace promptem::baselines {
 
@@ -81,169 +73,25 @@ em::PromptEMConfig MakePromptEmConfig(Method method,
   return config;
 }
 
-namespace {
-
-em::TrainOptions MakeTrainOptions(const RunOptions& options) {
-  em::TrainOptions train;
-  train.epochs = options.epochs;
-  train.lr = options.lr;
-  train.batch_size = options.batch_size;
-  train.seed = options.seed ^ 0xB5;
-  return train;
-}
-
-/// Supervised baselines share this scaffold: encode, train, evaluate.
-MethodResult RunSupervised(em::PairClassifier* model,
-                           const em::PairEncoder& encoder,
-                           const data::GemDataset& dataset,
-                           const data::LowResourceSplit& split,
-                           const em::TrainOptions& train_options,
-                           const std::vector<em::EncodedPair>* extra_train) {
-  std::vector<em::EncodedPair> train =
-      encoder.EncodeAll(dataset, split.labeled);
-  if (extra_train != nullptr) {
-    train.insert(train.end(), extra_train->begin(), extra_train->end());
-  }
-  const auto valid = encoder.EncodeAll(dataset, split.valid);
-  const auto test = encoder.EncodeAll(dataset, split.test);
-
-  MethodResult result;
-  core::Timer timer;
-  core::ScopedPeakMemory peak;
-  em::TrainClassifier(model, train, valid, train_options);
-  result.train_seconds = timer.ElapsedSeconds();
-  result.peak_memory_bytes = peak.Peak();
-  result.valid = em::Evaluate(model, valid);
-  result.test = em::Evaluate(model, test);
-  return result;
-}
-
-data::BenchmarkKind KindByOffset(data::BenchmarkKind kind) { return kind; }
-
-}  // namespace
-
 MethodResult RunMethod(Method method, const lm::PretrainedLM& lm,
                        data::BenchmarkKind kind,
                        const data::GemDataset& dataset,
                        const data::LowResourceSplit& split,
-                       const RunOptions& options) {
-  core::Rng rng(options.seed ^ (static_cast<uint64_t>(method) << 8));
-  em::PairEncoder encoder = em::MakePairEncoder(lm, dataset);
-  const em::TrainOptions train_options = MakeTrainOptions(options);
+                       const RunOptions& options,
+                       train::TrainObserver* observer) {
+  EnsureBaselineMatchersRegistered();
+  std::unique_ptr<train::Matcher> matcher =
+      train::MatcherRegistry::Instance().Create(MethodName(method));
+  PROMPTEM_CHECK_MSG(matcher != nullptr, "method has no registered matcher");
 
-  switch (method) {
-    case Method::kDeepMatcher: {
-      DeepMatcherModel model(lm.vocab(), /*embed_dim=*/32,
-                             /*hidden_dim=*/16, &rng);
-      return RunSupervised(&model, encoder, dataset, split, train_options,
-                           nullptr);
-    }
-    case Method::kBert: {
-      auto model = MakeBertBaseline(lm, &rng);
-      return RunSupervised(model.get(), encoder, dataset, split,
-                           train_options, nullptr);
-    }
-    case Method::kSentenceBert: {
-      SentenceBertModel model(lm, &rng);
-      return RunSupervised(&model, encoder, dataset, split, train_options,
-                           nullptr);
-    }
-    case Method::kDitto: {
-      // Fine-tuning + TF-IDF summarization (in the encoder) + one round of
-      // label-invariant augmentation.
-      const auto labeled = encoder.EncodeAll(dataset, split.labeled);
-      core::Rng aug_rng = rng.Fork();
-      const auto augmented = AugmentSet(labeled, /*copies=*/1, &aug_rng);
-      em::FinetuneModel model(lm, &rng);
-      return RunSupervised(&model, encoder, dataset, split, train_options,
-                           &augmented);
-    }
-    case Method::kRotom: {
-      const auto labeled = encoder.EncodeAll(dataset, split.labeled);
-      const auto valid = encoder.EncodeAll(dataset, split.valid);
-      const auto test = encoder.EncodeAll(dataset, split.test);
-      MethodResult result;
-      core::Timer timer;
-      core::ScopedPeakMemory peak;
-      auto model = RunRotom(lm, labeled, valid, train_options, &rng);
-      result.train_seconds = timer.ElapsedSeconds();
-      result.peak_memory_bytes = peak.Peak();
-      result.valid = em::Evaluate(model.get(), valid);
-      result.test = em::Evaluate(model.get(), test);
-      return result;
-    }
-    case Method::kDader: {
-      const data::BenchmarkKind source_kind =
-          DaderSourceFor(KindByOffset(kind));
-      const data::GemDataset source =
-          data::GenerateBenchmark(source_kind, options.seed);
-      em::PairEncoder source_encoder = em::MakePairEncoder(lm, source);
-      const auto source_train = source_encoder.EncodeAll(source,
-                                                         source.train);
-      const auto labeled = encoder.EncodeAll(dataset, split.labeled);
-      const auto unlabeled = encoder.EncodeAll(dataset, split.unlabeled);
-      const auto valid = encoder.EncodeAll(dataset, split.valid);
-      const auto test = encoder.EncodeAll(dataset, split.test);
-      MethodResult result;
-      core::Timer timer;
-      core::ScopedPeakMemory peak;
-      auto model = RunDader(lm, source_train, labeled, unlabeled, valid,
-                            train_options, &rng);
-      result.train_seconds = timer.ElapsedSeconds();
-      result.peak_memory_bytes = peak.Peak();
-      result.valid = em::Evaluate(model.get(), valid);
-      result.test = em::Evaluate(model.get(), test);
-      return result;
-    }
-    case Method::kTdMatch: {
-      MethodResult result;
-      core::Timer timer;
-      core::ScopedPeakMemory peak;
-      TdMatchGraph graph(dataset);
-      graph.ComputeAllEmbeddings();  // the measured "training" phase
-      result.train_seconds = timer.ElapsedSeconds();
-      result.peak_memory_bytes = peak.Peak();
-      auto evaluate = [&](const std::vector<data::PairExample>& pairs) {
-        std::vector<int> gold;
-        gold.reserve(pairs.size());
-        for (const auto& p : pairs) gold.push_back(p.label);
-        return em::ComputeMetrics(graph.PredictPairs(pairs), gold);
-      };
-      result.valid = evaluate(split.valid);
-      result.test = evaluate(split.test);
-      return result;
-    }
-    case Method::kTdMatchStar: {
-      MethodResult result;
-      core::Timer timer;
-      core::ScopedPeakMemory peak;
-      TdMatchGraph graph(dataset);
-      graph.ComputeAllEmbeddings();
-      TdMatchStar star(&graph, /*embedding_dim=*/32, options.seed, &rng);
-      std::vector<data::PairExample> labeled = split.labeled;
-      star.Train(labeled, options.epochs * 4, /*lr=*/5e-3f, &rng);
-      result.train_seconds = timer.ElapsedSeconds();
-      result.peak_memory_bytes = peak.Peak();
-      result.valid = star.Evaluate(split.valid);
-      result.test = star.Evaluate(split.test);
-      return result;
-    }
-    case Method::kPromptEM:
-    case Method::kPromptEMNoPT:
-    case Method::kPromptEMNoLST:
-    case Method::kPromptEMNoDDP: {
-      em::PromptEM promptem(&lm, MakePromptEmConfig(method, options));
-      em::PromptEMResult run = promptem.Run(dataset, split);
-      MethodResult result;
-      result.test = run.test;
-      result.valid = run.valid;
-      result.train_seconds = run.total_seconds;
-      result.peak_memory_bytes = run.peak_memory_bytes;
-      return result;
-    }
-  }
-  PROMPTEM_CHECK_MSG(false, "unknown method");
-  return {};
+  train::MatcherContext ctx;
+  ctx.lm = &lm;
+  ctx.kind = kind;
+  ctx.dataset = &dataset;
+  ctx.split = &split;
+  ctx.options = options;
+  ctx.observer = observer;
+  return train::RunMatcher(matcher.get(), ctx);
 }
 
 }  // namespace promptem::baselines

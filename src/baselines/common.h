@@ -7,6 +7,7 @@
 #include "data/benchmarks.h"
 #include "lm/pretrained_lm.h"
 #include "promptem/promptem.h"
+#include "train/registry.h"
 
 namespace promptem::baselines {
 
@@ -27,6 +28,7 @@ enum class Method {
   kPromptEMNoDDP,  ///< w/o dynamic data pruning (a.k.a. "PromptEM-")
 };
 
+/// Canonical display name — also the method's train::MatcherRegistry key.
 const char* MethodName(Method method);
 
 /// The eight baselines in Table 2's row order (PromptEM rows excluded).
@@ -35,35 +37,20 @@ const std::vector<Method>& BaselineMethods();
 /// All PromptEM variants (main + three ablations).
 const std::vector<Method>& PromptEmVariants();
 
-/// Knobs shared by the harness. Epoch counts are scaled-down stand-ins
-/// for the paper's 20 teacher / 30 student epochs.
-struct RunOptions {
-  uint64_t seed = 42;
-  int epochs = 12;          ///< baselines and PromptEM's teacher
-  int student_epochs = 14;  ///< PromptEM's student
-  float lr = 5e-3f;
-  int batch_size = 8;
-  int mc_passes = 10;
-  double pseudo_ratio = 0.10;  ///< u_r
-  double prune_ratio = 0.20;   ///< e_r
-  int prune_every = 2;
-};
+/// Harness knobs / per-run outcome, shared with the training runtime's
+/// matcher registry (the registry owns the canonical definitions).
+using RunOptions = ::promptem::train::RunOptions;
+using MethodResult = ::promptem::train::MatcherResult;
 
-/// One method's outcome on one dataset split.
-struct MethodResult {
-  em::Metrics test;
-  em::Metrics valid;
-  double train_seconds = 0.0;
-  size_t peak_memory_bytes = 0;
-};
-
-/// Trains and evaluates `method` on the split. `kind` identifies the
-/// benchmark (DADER derives its source dataset from it).
+/// Trains and evaluates `method` on the split via the matcher registry.
+/// `kind` identifies the benchmark (DADER derives its source dataset from
+/// it); `observer` receives every training-loop event of the run.
 MethodResult RunMethod(Method method, const lm::PretrainedLM& lm,
                        data::BenchmarkKind kind,
                        const data::GemDataset& dataset,
                        const data::LowResourceSplit& split,
-                       const RunOptions& options);
+                       const RunOptions& options,
+                       train::TrainObserver* observer = nullptr);
 
 /// Builds the PromptEMConfig a given PromptEM variant uses (shared by
 /// RunMethod and the ablation benches).

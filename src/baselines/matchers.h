@@ -1,0 +1,14 @@
+#ifndef PROMPTEM_BASELINES_MATCHERS_H_
+#define PROMPTEM_BASELINES_MATCHERS_H_
+
+namespace promptem::baselines {
+
+/// Anchors the REGISTER_MATCHER static initializers in matchers.cc: call
+/// this before consulting train::MatcherRegistry. Without a referenced
+/// symbol the static archive's linker would drop the registration
+/// translation unit entirely.
+void EnsureBaselineMatchersRegistered();
+
+}  // namespace promptem::baselines
+
+#endif  // PROMPTEM_BASELINES_MATCHERS_H_

@@ -2,9 +2,9 @@
 
 #include <cmath>
 
-#include "nn/optimizer.h"
 #include "promptem/scoring.h"
 #include "tensor/autograd.h"
+#include "train/train_loop.h"
 
 namespace promptem::baselines {
 
@@ -43,31 +43,24 @@ tensor::Tensor TdMatchStar::Logits(const data::PairExample& pair,
 }
 
 void TdMatchStar::Train(const std::vector<data::PairExample>& labeled,
-                        int epochs, float lr, core::Rng* rng) {
-  nn::AdamWConfig config;
-  config.lr = lr;
-  nn::AdamW optimizer(head_->Parameters(), config);
-  head_->Train();
-  std::vector<size_t> order(labeled.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  for (int epoch = 0; epoch < epochs; ++epoch) {
-    rng->Shuffle(&order);
-    int in_batch = 0;
-    for (size_t idx : order) {
-      tensor::Tensor loss = ops::CrossEntropyLogits(
-          Logits(labeled[idx], rng), {labeled[idx].label});
-      loss.Backward();
-      if (++in_batch == 8) {
-        optimizer.Step();
-        optimizer.ZeroGrad();
-        in_batch = 0;
-      }
-    }
-    if (in_batch > 0) {
-      optimizer.Step();
-      optimizer.ZeroGrad();
-    }
-  }
+                        int epochs, float lr, core::Rng* rng,
+                        train::TrainObserver* observer) {
+  train::LoopOptions loop_options;
+  loop_options.epochs = epochs;
+  loop_options.batch_size = 8;  // the historical accumulation group
+  loop_options.lr = lr;
+  loop_options.rng = rng;
+  loop_options.observer = observer;
+  loop_options.run_name = "TDmatch*";
+
+  train::TrainLoop loop(head_.get(), loop_options);
+  loop.OnSequentialStep(
+      [&](size_t idx, core::Rng* step_rng)
+          -> std::optional<tensor::Tensor> {
+        return ops::CrossEntropyLogits(Logits(labeled[idx], step_rng),
+                                       {labeled[idx].label});
+      });
+  loop.Run(labeled.size());
   head_->Eval();
 }
 

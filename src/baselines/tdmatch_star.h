@@ -6,6 +6,7 @@
 #include "baselines/tdmatch.h"
 #include "nn/layers.h"
 #include "promptem/metrics.h"
+#include "train/observer.h"
 
 namespace promptem::baselines {
 
@@ -20,7 +21,8 @@ class TdMatchStar {
 
   /// Trains the MLP on labeled pairs (labels from PairExample).
   void Train(const std::vector<data::PairExample>& labeled, int epochs,
-             float lr, core::Rng* rng);
+             float lr, core::Rng* rng,
+             train::TrainObserver* observer = nullptr);
 
   /// Predicted labels for candidate pairs.
   std::vector<int> Predict(const std::vector<data::PairExample>& pairs);

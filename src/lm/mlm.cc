@@ -3,9 +3,9 @@
 #include <algorithm>
 
 #include "core/log.h"
-#include "nn/optimizer.h"
 #include "tensor/ops.h"
 #include "text/tokenizer.h"
+#include "train/train_loop.h"
 
 namespace promptem::lm {
 
@@ -46,15 +46,43 @@ MlmInstance MaskTokens(const std::vector<int>& ids, int vocab_size,
   return inst;
 }
 
+namespace {
+
+/// Periodic in-epoch progress lines ("mlm epoch 1 step 200 loss ..."),
+/// reconstructed from per-step batch events.
+class MlmProgressLogger final : public train::TrainObserver {
+ public:
+  explicit MlmProgressLogger(int log_every) : log_every_(log_every) {}
+
+  void OnEpochBegin(int epoch) override {
+    epoch_ = epoch;
+    steps_ = 0;
+    total_loss_ = 0.0;
+  }
+
+  void OnBatchEnd(const train::BatchStats& stats) override {
+    total_loss_ += stats.batch_loss;
+    ++steps_;
+    if (log_every_ > 0 && steps_ % log_every_ == 0) {
+      PROMPTEM_LOG(Info) << "mlm epoch " << epoch_ << " step " << steps_
+                         << " loss " << total_loss_ / steps_;
+    }
+  }
+
+ private:
+  int log_every_;
+  int epoch_ = 0;
+  int64_t steps_ = 0;
+  double total_loss_ = 0.0;
+};
+
+}  // namespace
+
 std::vector<float> PretrainMlm(nn::TransformerEncoder* encoder,
                                const Corpus& corpus,
                                const text::Vocab& vocab,
                                const MlmOptions& options, core::Rng* rng) {
   PROMPTEM_CHECK(encoder != nullptr);
-  encoder->Train();
-  nn::AdamWConfig opt_config;
-  opt_config.lr = options.lr;
-  nn::AdamW optimizer(encoder->Parameters(), opt_config);
 
   // Pre-encode all documents once.
   std::vector<std::vector<int>> encoded;
@@ -68,54 +96,53 @@ std::vector<float> PretrainMlm(nn::TransformerEncoder* encoder,
   }
   PROMPTEM_CHECK_MSG(!encoded.empty(), "empty pre-training corpus");
 
-  std::vector<float> epoch_losses;
-  std::vector<size_t> order(encoded.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  MlmProgressLogger progress(options.log_every);
+  train::ObserverList observers;
+  observers.Add(&progress);
+  observers.Add(options.observer);
 
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
-    rng->Shuffle(&order);
-    double total_loss = 0.0;
-    int64_t steps = 0;
-    for (size_t idx : order) {
-      MlmInstance inst = MaskTokens(encoded[idx], vocab.size(),
-                                    options.mask_prob, rng);
-      if (!options.always_mask_ids.empty()) {
-        for (size_t i = 0; i < encoded[idx].size(); ++i) {
-          const int original = encoded[idx][i];
-          for (int forced : options.always_mask_ids) {
-            if (original == forced) {
-              inst.targets[i] = original;
-              inst.input_ids[i] = SpecialTokens::kMask;
+  train::LoopOptions loop_options;
+  loop_options.epochs = options.epochs;
+  // MLM steps after every document (sequential mode with group size 1);
+  // documents where masking selected nothing are skipped entirely.
+  loop_options.batch_size = 1;
+  loop_options.lr = options.lr;
+  loop_options.rng = rng;
+  loop_options.observer = &observers;
+  loop_options.run_name = "mlm";
+
+  train::TrainLoop loop(encoder, loop_options);
+  loop.OnSequentialStep(
+      [&](size_t idx, core::Rng* step_rng)
+          -> std::optional<tensor::Tensor> {
+        MlmInstance inst = MaskTokens(encoded[idx], vocab.size(),
+                                      options.mask_prob, step_rng);
+        if (!options.always_mask_ids.empty()) {
+          for (size_t i = 0; i < encoded[idx].size(); ++i) {
+            const int original = encoded[idx][i];
+            for (int forced : options.always_mask_ids) {
+              if (original == forced) {
+                inst.targets[i] = original;
+                inst.input_ids[i] = SpecialTokens::kMask;
+              }
             }
           }
         }
-      }
-      std::vector<int> positions;
-      std::vector<int> labels;
-      for (size_t i = 0; i < inst.targets.size(); ++i) {
-        if (inst.targets[i] >= 0) {
-          positions.push_back(static_cast<int>(i));
-          labels.push_back(inst.targets[i]);
+        std::vector<int> positions;
+        std::vector<int> labels;
+        for (size_t i = 0; i < inst.targets.size(); ++i) {
+          if (inst.targets[i] >= 0) {
+            positions.push_back(static_cast<int>(i));
+            labels.push_back(inst.targets[i]);
+          }
         }
-      }
-      if (positions.empty()) continue;
-      tensor::Tensor hidden = encoder->Encode(inst.input_ids, rng);
-      tensor::Tensor logits = encoder->MlmLogits(hidden, positions);
-      tensor::Tensor loss = ops::CrossEntropyLogits(logits, labels);
-      total_loss += loss.item();
-      ++steps;
-      loss.Backward();
-      optimizer.Step();
-      optimizer.ZeroGrad();
-      if (options.log_every > 0 && steps % options.log_every == 0) {
-        PROMPTEM_LOG(Info) << "mlm epoch " << epoch << " step " << steps
-                           << " loss " << total_loss / steps;
-      }
-    }
-    epoch_losses.push_back(
-        steps == 0 ? 0.0f : static_cast<float>(total_loss / steps));
-  }
-  return epoch_losses;
+        if (positions.empty()) return std::nullopt;
+        tensor::Tensor hidden = encoder->Encode(inst.input_ids, step_rng);
+        tensor::Tensor logits = encoder->MlmLogits(hidden, positions);
+        return ops::CrossEntropyLogits(logits, labels);
+      });
+
+  return loop.Run(encoded.size()).epoch_losses;
 }
 
 }  // namespace promptem::lm

@@ -5,6 +5,7 @@
 
 #include "lm/corpus.h"
 #include "nn/transformer.h"
+#include "train/observer.h"
 
 namespace promptem::lm {
 
@@ -22,6 +23,8 @@ struct MlmOptions {
   /// Same, by surface form — resolved against the vocabulary by
   /// PretrainedLM::Pretrain (which builds the vocab) into always_mask_ids.
   std::vector<std::string> always_mask_words;
+  /// Receives the pre-training loop's events (not owned; may be null).
+  train::TrainObserver* observer = nullptr;
 };
 
 /// One masked training instance.

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 #include "core/log.h"
 #include "core/timer.h"
-#include "nn/optimizer.h"
+#include "train/train_loop.h"
 
 namespace promptem::em {
 
@@ -13,6 +14,8 @@ namespace {
 
 /// Student phase: supervised training with dynamic data pruning (DDP)
 /// interleaved every `prune_every` epochs (Algorithm 1, lines 9-15).
+/// Pruning runs as the loop's epoch hook — after the epoch's batches,
+/// before evaluation — on the same RNG stream as the training epochs.
 void TrainStudentWithPruning(PairClassifier* student,
                              std::vector<EncodedPair>* train_set,
                              const std::vector<EncodedPair>& valid,
@@ -21,21 +24,36 @@ void TrainStudentWithPruning(PairClassifier* student,
                              std::vector<std::vector<float>>* best_snapshot,
                              double* best_f1) {
   core::Rng rng(config.student_options.seed);
-  nn::Module* module = student->AsModule();
-  nn::AdamWConfig opt_config;
-  opt_config.lr = config.student_options.lr;
-  opt_config.weight_decay = config.student_options.weight_decay;
-  nn::AdamW optimizer(module->Parameters(), opt_config);
 
-  for (int epoch = 1; epoch <= config.student_options.epochs; ++epoch) {
-    module->Train();
-    std::vector<size_t> order(train_set->size());
-    std::iota(order.begin(), order.end(), 0);
-    rng.Shuffle(&order);
-    TrainEpochDataParallel(student, *train_set, order,
-                           config.student_options.batch_size, &optimizer,
-                           &rng, &stats->student_samples);
+  train::LoopOptions loop_options;
+  loop_options.epochs = config.student_options.epochs;
+  loop_options.batch_size = config.student_options.batch_size;
+  loop_options.lr = config.student_options.lr;
+  loop_options.weight_decay = config.student_options.weight_decay;
+  // The student re-derives the identity order every epoch (the historical
+  // convention; pruning invalidates a persistent permutation anyway).
+  loop_options.reset_order_each_epoch = true;
+  loop_options.rng = &rng;
+  // The best snapshot is handed back to the self-training driver, which
+  // materializes it into a fresh model; the student itself keeps its
+  // final-epoch weights.
+  loop_options.restore_best = false;
+  // Students compete with the teacher (and earlier students) for
+  // best-on-validation: an epoch only snapshots by beating the incoming
+  // cross-phase best.
+  loop_options.best_score_init = *best_f1;
+  loop_options.observer = config.student_options.observer;
+  loop_options.run_name = config.student_options.run_name.empty()
+                              ? "student"
+                              : config.student_options.run_name;
+  loop_options.dataset_name = config.student_options.dataset_name;
 
+  train::TrainLoop loop(student->AsModule(), loop_options);
+  loop.OnParallelStep([&](size_t index, core::Rng* sample_rng) {
+    const EncodedPair& x = (*train_set)[index];
+    return student->Loss(x, x.label, sample_rng);
+  });
+  loop.OnEpochHook([&](int epoch, core::Rng* hook_rng) -> size_t {
     // Dynamic data pruning: drop the N_D least-important samples (lowest
     // MC-EL2N, Eq. 3) every `prune_every` epochs.
     if (config.use_pruning && config.prune_every > 0 &&
@@ -43,8 +61,8 @@ void TrainStudentWithPruning(PairClassifier* student,
       const size_t n_d = static_cast<size_t>(
           config.prune_ratio * static_cast<double>(train_set->size()));
       if (n_d > 0) {
-        const std::vector<float> scores =
-            McEl2nScoreBatch(student, *train_set, config.mc_passes, &rng);
+        const std::vector<float> scores = McEl2nScoreBatch(
+            student, *train_set, config.mc_passes, hook_rng);
         std::vector<size_t> by_score(train_set->size());
         std::iota(by_score.begin(), by_score.end(), 0);
         std::stable_sort(by_score.begin(), by_score.end(),
@@ -62,15 +80,18 @@ void TrainStudentWithPruning(PairClassifier* student,
         *train_set = std::move(kept);
       }
     }
+    return train_set->size();
+  });
+  if (!valid.empty()) {
+    loop.OnEval([&] { return Evaluate(student, valid); });
+  }
 
-    if (!valid.empty()) {
-      Metrics m = Evaluate(student, valid);
-      if (m.F1() > *best_f1) {
-        *best_f1 = m.F1();
-        *best_snapshot = SnapshotParams(*module);
-        stats->student_best_valid = m;
-      }
-    }
+  train::LoopResult run = loop.Run(train_set->size());
+  stats->student_samples += run.samples_processed;
+  if (run.best_score > *best_f1 && !run.best_snapshot.empty()) {
+    *best_f1 = run.best_score;
+    *best_snapshot = std::move(run.best_snapshot);
+    stats->student_best_valid = run.best_eval;
   }
 }
 
@@ -87,6 +108,9 @@ std::unique_ptr<PairClassifier> RunSelfTraining(
   std::vector<EncodedPair> d_l = labeled;
   std::vector<EncodedPair> d_u = unlabeled;
 
+  TrainOptions teacher_options = config.teacher_options;
+  if (teacher_options.run_name.empty()) teacher_options.run_name = "teacher";
+
   // Teachers and students share one architecture (same factory), so the
   // best model across all phases is tracked as a parameter snapshot and
   // materialized once at the end.
@@ -98,7 +122,7 @@ std::unique_ptr<PairClassifier> RunSelfTraining(
     core::Timer teacher_timer;
     std::unique_ptr<PairClassifier> teacher = factory();
     stats->teacher_result = TrainClassifier(
-        teacher.get(), d_l, valid, config.teacher_options);
+        teacher.get(), d_l, valid, teacher_options);
     stats->teacher_seconds += teacher_timer.ElapsedSeconds();
 
     if (!config.use_pseudo_labels) {

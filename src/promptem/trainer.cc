@@ -1,34 +1,19 @@
 #include "promptem/trainer.h"
 
-#include <algorithm>
-#include <cstring>
-#include <memory>
+#include <utility>
 
-#include "core/thread_pool.h"
-#include "nn/optimizer.h"
 #include "promptem/scoring.h"
-#include "tensor/autograd.h"
+#include "train/train_loop.h"
 
 namespace promptem::em {
 
 std::vector<std::vector<float>> SnapshotParams(const nn::Module& module) {
-  std::vector<std::vector<float>> snapshot;
-  for (const auto& p : module.Parameters()) {
-    snapshot.emplace_back(p.data(), p.data() + p.numel());
-  }
-  return snapshot;
+  return train::SnapshotModuleParams(module);
 }
 
 void RestoreParams(nn::Module* module,
                    const std::vector<std::vector<float>>& snapshot) {
-  auto params = module->Parameters();
-  PROMPTEM_CHECK(params.size() == snapshot.size());
-  for (size_t i = 0; i < params.size(); ++i) {
-    PROMPTEM_CHECK(static_cast<size_t>(params[i].numel()) ==
-                   snapshot[i].size());
-    std::memcpy(params[i].data(), snapshot[i].data(),
-                snapshot[i].size() * sizeof(float));
-  }
+  train::RestoreModuleParams(module, snapshot);
 }
 
 std::vector<int> PredictLabels(PairClassifier* model,
@@ -46,104 +31,41 @@ Metrics Evaluate(PairClassifier* model,
   return MetricsFromProbs(ScoreBatch(model, examples), gold);
 }
 
-double TrainEpochDataParallel(PairClassifier* model,
-                              const std::vector<EncodedPair>& train,
-                              const std::vector<size_t>& order,
-                              int batch_size, nn::AdamW* optimizer,
-                              core::Rng* rng, int64_t* samples_trained) {
-  PROMPTEM_CHECK(batch_size >= 1);
-  nn::Module* module = model->AsModule();
-  const std::vector<tensor::Tensor> params = module->Parameters();
-
-  // One gradient shard per minibatch slot, reused across batches. Sample b
-  // of every batch accumulates into shard b; shards merge in slot order.
-  const size_t slots =
-      std::min(static_cast<size_t>(batch_size), order.size());
-  std::vector<std::unique_ptr<tensor::GradShard>> shards;
-  shards.reserve(slots);
-  for (size_t s = 0; s < slots; ++s) {
-    shards.push_back(std::make_unique<tensor::GradShard>(params));
-  }
-
-  double epoch_loss = 0.0;
-  std::vector<uint64_t> seeds(slots);
-  std::vector<float> losses(slots);
-  for (size_t start = 0; start < order.size();
-       start += static_cast<size_t>(batch_size)) {
-    const size_t bsz =
-        std::min(static_cast<size_t>(batch_size), order.size() - start);
-    // Per-sample dropout streams, drawn in batch order so the seeds (and
-    // everything downstream) are independent of the pool size.
-    for (size_t b = 0; b < bsz; ++b) seeds[b] = rng->NextU64();
-    core::ParallelFor(0, static_cast<int64_t>(bsz), 1,
-                      [&](int64_t begin, int64_t end) {
-      for (int64_t b = begin; b < end; ++b) {
-        const size_t slot = static_cast<size_t>(b);
-        tensor::GradShard::Scope scope(shards[slot].get());
-        core::Rng sample_rng(seeds[slot]);
-        const EncodedPair& x = train[order[start + slot]];
-        tensor::Tensor loss = model->Loss(x, x.label, &sample_rng);
-        losses[slot] = loss.item();
-        loss.Backward();
-      }
-    });
-    for (size_t b = 0; b < bsz; ++b) {
-      epoch_loss += losses[b];
-      shards[b]->MergeAndReset();
-    }
-    if (samples_trained != nullptr) {
-      *samples_trained += static_cast<int64_t>(bsz);
-    }
-    optimizer->Step();
-    optimizer->ZeroGrad();
-  }
-  return epoch_loss;
-}
-
 TrainResult TrainClassifier(PairClassifier* model,
                             const std::vector<EncodedPair>& train,
                             const std::vector<EncodedPair>& valid,
                             const TrainOptions& options) {
   PROMPTEM_CHECK(model != nullptr);
   PROMPTEM_CHECK(!train.empty());
-  core::Rng rng(options.seed);
-
   nn::Module* module = model->AsModule();
-  nn::AdamWConfig opt_config;
-  opt_config.lr = options.lr;
-  opt_config.weight_decay = options.weight_decay;
-  nn::AdamW optimizer(module->Parameters(), opt_config);
+
+  train::LoopOptions loop_options;
+  loop_options.epochs = options.epochs;
+  loop_options.batch_size = options.batch_size;
+  loop_options.lr = options.lr;
+  loop_options.weight_decay = options.weight_decay;
+  loop_options.seed = options.seed;
+  loop_options.early_stop_patience = options.early_stop_patience;
+  loop_options.observer = options.observer;
+  loop_options.run_name = options.run_name;
+  loop_options.dataset_name = options.dataset_name;
+
+  train::TrainLoop loop(module, loop_options);
+  loop.OnParallelStep([&](size_t index, core::Rng* rng) {
+    const EncodedPair& x = train[index];
+    return model->Loss(x, x.label, rng);
+  });
+  if (options.select_best_on_valid && !valid.empty()) {
+    loop.OnEval([&] { return Evaluate(model, valid); });
+  }
+
+  train::LoopResult run = loop.Run(train.size());
 
   TrainResult result;
-  std::vector<std::vector<float>> best_snapshot;
-  double best_f1 = -1.0;
-
-  std::vector<size_t> order(train.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
-    module->Train();
-    rng.Shuffle(&order);
-    const double epoch_loss = TrainEpochDataParallel(
-        model, train, order, options.batch_size, &optimizer, &rng,
-        &result.samples_trained);
-    result.epoch_losses.push_back(
-        static_cast<float>(epoch_loss / static_cast<double>(train.size())));
-
-    if (options.select_best_on_valid && !valid.empty()) {
-      Metrics m = Evaluate(model, valid);
-      if (m.F1() > best_f1) {
-        best_f1 = m.F1();
-        best_snapshot = SnapshotParams(*module);
-        result.best_valid = m;
-        result.best_epoch = epoch;
-      }
-    }
-  }
-
-  if (!best_snapshot.empty()) {
-    RestoreParams(module, best_snapshot);
-  }
+  result.epoch_losses = std::move(run.epoch_losses);
+  result.best_valid = run.best_eval;
+  result.best_epoch = run.best_epoch;
+  result.samples_trained = run.samples_processed;
   module->Eval();
   return result;
 }

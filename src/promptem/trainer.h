@@ -2,15 +2,13 @@
 #define PROMPTEM_PROMPTEM_TRAINER_H_
 
 #include <array>
+#include <string>
 #include <vector>
 
 #include "nn/module.h"
 #include "promptem/encoding.h"
 #include "promptem/metrics.h"
-
-namespace promptem::nn {
-class AdamW;
-}  // namespace promptem::nn
+#include "train/observer.h"
 
 namespace promptem::em {
 
@@ -42,37 +40,32 @@ struct TrainOptions {
   float lr = 5e-3f;
   float weight_decay = 0.01f;
   bool select_best_on_valid = true;  ///< restore best-F1 weights at the end
+  /// Stop after this many consecutive epochs without a validation-F1
+  /// improvement (0 = disabled; requires select_best_on_valid).
+  int early_stop_patience = 0;
   uint64_t seed = 17;
+  train::TrainObserver* observer = nullptr;  ///< not owned; may be null
+  std::string run_name;                      ///< observer label
+  std::string dataset_name;                  ///< observer label
 };
 
 /// Per-run training statistics.
 struct TrainResult {
   std::vector<float> epoch_losses;
   Metrics best_valid;
-  int best_epoch = -1;
+  int best_epoch = -1;          ///< 1-based; -1 when no epoch improved
   int64_t samples_trained = 0;  ///< total per-sample steps across epochs
 };
 
 /// Trains `model` on `train` (labels from EncodedPair::label), evaluating
 /// on `valid` each epoch and restoring the best-F1 snapshot at the end
-/// (the paper selects the epoch with the highest validation F1).
+/// (the paper selects the epoch with the highest validation F1). A thin
+/// adapter over train::TrainLoop's data-parallel mode; leaves the model
+/// in eval mode.
 TrainResult TrainClassifier(PairClassifier* model,
                             const std::vector<EncodedPair>& train,
                             const std::vector<EncodedPair>& valid,
                             const TrainOptions& options);
-
-/// One epoch of data-parallel minibatch training over `train[order[...]]`:
-/// each minibatch's samples run forward+Backward concurrently, every
-/// sample under its own GradShard and a per-sample Rng seeded from `rng`
-/// in batch order; shards merge into the shared gradients in sample order
-/// before the optimizer step. Gradients (and therefore weights) are
-/// bitwise identical for any PROMPTEM_NUM_THREADS. Draws batch_size seeds
-/// from `rng` per batch; returns the summed per-sample loss.
-double TrainEpochDataParallel(PairClassifier* model,
-                              const std::vector<EncodedPair>& train,
-                              const std::vector<size_t>& order,
-                              int batch_size, nn::AdamW* optimizer,
-                              core::Rng* rng, int64_t* samples_trained);
 
 /// Evaluates in eval mode (deterministic) against the labels in `examples`.
 Metrics Evaluate(PairClassifier* model,
@@ -83,7 +76,8 @@ std::vector<int> PredictLabels(PairClassifier* model,
                                const std::vector<EncodedPair>& examples);
 
 /// Copies all parameter values out of / back into a module (best-epoch
-/// snapshotting, teacher/student hand-off).
+/// snapshotting, teacher/student hand-off). Aliases for the train:: pair,
+/// kept under the em:: name the self-training and test code uses.
 std::vector<std::vector<float>> SnapshotParams(const nn::Module& module);
 void RestoreParams(nn::Module* module,
                    const std::vector<std::vector<float>>& snapshot);

@@ -1,0 +1,93 @@
+#include "train/observer.h"
+
+#include "core/log.h"
+#include "core/string_util.h"
+#include "data/json.h"
+#include "data/record.h"
+
+namespace promptem::train {
+
+void ObserverList::Add(TrainObserver* observer) {
+  if (observer != nullptr) observers_.push_back(observer);
+}
+
+void ObserverList::OnLoopBegin(const RunMeta& meta) {
+  for (auto* o : observers_) o->OnLoopBegin(meta);
+}
+
+void ObserverList::OnEpochBegin(int epoch) {
+  for (auto* o : observers_) o->OnEpochBegin(epoch);
+}
+
+void ObserverList::OnBatchEnd(const BatchStats& stats) {
+  for (auto* o : observers_) o->OnBatchEnd(stats);
+}
+
+void ObserverList::OnEvalEnd(const EvalStats& stats) {
+  for (auto* o : observers_) o->OnEvalEnd(stats);
+}
+
+void ObserverList::OnEpochEnd(const EpochStats& stats) {
+  for (auto* o : observers_) o->OnEpochEnd(stats);
+}
+
+void ObserverList::OnLoopEnd(const LoopResult& result) {
+  for (auto* o : observers_) o->OnLoopEnd(result);
+}
+
+void ConsoleObserver::OnLoopBegin(const RunMeta& meta) { meta_ = meta; }
+
+void ConsoleObserver::OnEpochEnd(const EpochStats& stats) {
+  std::string line = core::StrFormat(
+      "%s epoch %d/%d loss %.4f (%.0f ex/s)",
+      meta_.run_name.empty() ? "train" : meta_.run_name.c_str(),
+      stats.epoch, meta_.epochs, stats.avg_loss, stats.examples_per_sec);
+  if (stats.has_eval) {
+    line += " valid " + stats.eval.ToString();
+  }
+  PROMPTEM_LOG(Info) << line;
+}
+
+JsonlRunLogger::JsonlRunLogger(std::string path) : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), "a");
+  if (file_ == nullptr) {
+    PROMPTEM_LOG(Warn) << "run-log: cannot open " << path_
+                       << " for appending; epoch records are dropped";
+  }
+}
+
+JsonlRunLogger::~JsonlRunLogger() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlRunLogger::OnLoopBegin(const RunMeta& meta) { meta_ = meta; }
+
+void JsonlRunLogger::OnEpochEnd(const EpochStats& stats) {
+  if (file_ == nullptr) return;
+  // Strings go through the JSON serializer for escaping; numbers are
+  // formatted directly so the log keeps full float precision.
+  std::string line = "{";
+  line += "\"run\": " + data::ToJson(data::Value::Str(meta_.run_name));
+  line += ", \"dataset\": " + data::ToJson(data::Value::Str(meta_.dataset));
+  line += core::StrFormat(", \"epoch\": %d", stats.epoch);
+  line += core::StrFormat(", \"loss\": %.9g", stats.avg_loss);
+  line += core::StrFormat(", \"samples\": %lld",
+                          static_cast<long long>(stats.samples));
+  if (stats.has_eval) {
+    line += core::StrFormat(
+        ", \"precision\": %.9g, \"recall\": %.9g, \"f1\": %.9g",
+        stats.eval.Precision(), stats.eval.Recall(), stats.eval.F1());
+  }
+  line += core::StrFormat(", \"seconds\": %.6g", stats.seconds);
+  line += core::StrFormat(", \"examples_per_sec\": %.6g",
+                          stats.examples_per_sec);
+  line += core::StrFormat(", \"seed\": %llu",
+                          static_cast<unsigned long long>(meta_.seed));
+  line +=
+      ", \"config_hash\": " + data::ToJson(data::Value::Str(meta_.config_hash));
+  line += "}\n";
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+}  // namespace promptem::train

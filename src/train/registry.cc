@@ -1,0 +1,81 @@
+#include "train/registry.h"
+
+#include <utility>
+
+#include "core/mem_tracker.h"
+#include "core/status.h"
+#include "core/timer.h"
+
+namespace promptem::train {
+
+MatcherRegistry& MatcherRegistry::Instance() {
+  static MatcherRegistry* kInstance = new MatcherRegistry();
+  return *kInstance;
+}
+
+void MatcherRegistry::Register(std::string name, MatcherFactory factory,
+                               bool listed) {
+  PROMPTEM_CHECK_MSG(!Contains(name), "duplicate matcher registration");
+  entries_.push_back({std::move(name), std::move(factory), listed});
+}
+
+bool MatcherRegistry::Contains(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return true;
+  }
+  return false;
+}
+
+std::unique_ptr<Matcher> MatcherRegistry::Create(
+    const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return e.factory();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> MatcherRegistry::ListedNames() const {
+  std::vector<std::string> names;
+  for (const auto& e : entries_) {
+    if (e.listed) names.push_back(e.name);
+  }
+  return names;
+}
+
+std::vector<std::string> MatcherRegistry::AllNames() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& e : entries_) names.push_back(e.name);
+  return names;
+}
+
+MatcherRegistrar::MatcherRegistrar(const char* name, MatcherFactory factory,
+                                   bool listed) {
+  MatcherRegistry::Instance().Register(name, std::move(factory), listed);
+}
+
+MatcherResult RunMatcher(Matcher* matcher, const MatcherContext& ctx) {
+  PROMPTEM_CHECK(matcher != nullptr);
+  PROMPTEM_CHECK(ctx.lm != nullptr);
+  PROMPTEM_CHECK(ctx.dataset != nullptr);
+  PROMPTEM_CHECK(ctx.split != nullptr);
+
+  MatcherResult result;
+  core::Timer timer;
+  core::ScopedPeakMemory peak;
+  matcher->Train(ctx);
+  result.train_seconds = timer.ElapsedSeconds();
+  result.peak_memory_bytes = peak.Peak();
+
+  const auto evaluate = [&](const std::vector<data::PairExample>& pairs) {
+    std::vector<int> gold;
+    gold.reserve(pairs.size());
+    for (const auto& p : pairs) gold.push_back(p.label);
+    return em::ComputeMetrics(matcher->Predict(ctx, pairs), gold);
+  };
+  result.valid = evaluate(ctx.split->valid);
+  result.test = evaluate(ctx.split->test);
+  return result;
+}
+
+}  // namespace promptem::train

@@ -1,0 +1,134 @@
+#ifndef PROMPTEM_TRAIN_REGISTRY_H_
+#define PROMPTEM_TRAIN_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/benchmarks.h"
+#include "promptem/metrics.h"
+#include "train/observer.h"
+
+namespace promptem::lm {
+class PretrainedLM;
+}  // namespace promptem::lm
+
+namespace promptem::train {
+
+/// Knobs shared by every matcher run. Epoch counts are scaled-down
+/// stand-ins for the paper's 20 teacher / 30 student epochs.
+struct RunOptions {
+  uint64_t seed = 42;
+  int epochs = 12;          ///< baselines and PromptEM's teacher
+  int student_epochs = 14;  ///< PromptEM's student
+  float lr = 5e-3f;
+  int batch_size = 8;
+  int mc_passes = 10;
+  double pseudo_ratio = 0.10;  ///< u_r
+  double prune_ratio = 0.20;   ///< e_r
+  int prune_every = 2;
+};
+
+/// Everything a matcher needs to train and predict on one benchmark
+/// split. Pointers are not owned and must outlive the matcher.
+struct MatcherContext {
+  const lm::PretrainedLM* lm = nullptr;
+  data::BenchmarkKind kind = data::BenchmarkKind::kRelHeter;
+  const data::GemDataset* dataset = nullptr;
+  const data::LowResourceSplit* split = nullptr;
+  RunOptions options;
+  /// Receives every TrainLoop event of the run (may be null). Matchers
+  /// without an epoch loop synthesize a single epoch record.
+  TrainObserver* observer = nullptr;
+};
+
+/// One matcher's outcome on one dataset split.
+struct MatcherResult {
+  em::Metrics test;
+  em::Metrics valid;
+  double train_seconds = 0.0;
+  size_t peak_memory_bytes = 0;
+};
+
+/// Uniform face of every entity-matching method in the repo — PromptEM,
+/// its ablations, and all eight baselines. Train() fits internal state
+/// from ctx.split->labeled (consuming randomness only from seeds derived
+/// from ctx.options.seed); Predict() labels arbitrary candidate pairs
+/// with the trained state. Matchers are single-use: one Train, then any
+/// number of Predicts.
+class Matcher {
+ public:
+  virtual ~Matcher() = default;
+
+  virtual std::string Name() const = 0;
+  virtual void Train(const MatcherContext& ctx) = 0;
+  virtual std::vector<int> Predict(
+      const MatcherContext& ctx,
+      const std::vector<data::PairExample>& pairs) = 0;
+};
+
+using MatcherFactory = std::function<std::unique_ptr<Matcher>()>;
+
+/// Name -> factory table, populated at static-initialization time by
+/// REGISTER_MATCHER. CLI dispatch, --list-matchers, and the benchmark
+/// harness all derive from this one table, so adding a matcher is one
+/// registration away from everywhere.
+class MatcherRegistry {
+ public:
+  static MatcherRegistry& Instance();
+
+  /// `listed` controls --list-matchers visibility; hidden entries (the
+  /// PromptEM ablations) remain creatable by name.
+  void Register(std::string name, MatcherFactory factory, bool listed);
+
+  bool Contains(const std::string& name) const;
+  /// Null when `name` is unknown.
+  std::unique_ptr<Matcher> Create(const std::string& name) const;
+
+  /// Listed names in registration order.
+  std::vector<std::string> ListedNames() const;
+  /// Every registered name (listed + hidden) in registration order.
+  std::vector<std::string> AllNames() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MatcherFactory factory;
+    bool listed = true;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Static-init helper behind REGISTER_MATCHER.
+struct MatcherRegistrar {
+  MatcherRegistrar(const char* name, MatcherFactory factory,
+                   bool listed = true);
+};
+
+#define PROMPTEM_MATCHER_CONCAT_INNER(a, b) a##b
+#define PROMPTEM_MATCHER_CONCAT(a, b) PROMPTEM_MATCHER_CONCAT_INNER(a, b)
+
+/// Registers `factory` (returning std::unique_ptr<Matcher>) under `name`.
+/// Place registrations in a .cc anchored by a function the program calls
+/// (static archives drop unreferenced translation units).
+#define REGISTER_MATCHER(name, factory)                      \
+  static const ::promptem::train::MatcherRegistrar           \
+      PROMPTEM_MATCHER_CONCAT(kMatcherRegistrar_, __COUNTER__)( \
+          name, factory)
+
+/// Same, but omitted from --list-matchers (ablation variants).
+#define REGISTER_MATCHER_HIDDEN(name, factory)               \
+  static const ::promptem::train::MatcherRegistrar           \
+      PROMPTEM_MATCHER_CONCAT(kMatcherRegistrar_, __COUNTER__)( \
+          name, factory, /*listed=*/false)
+
+/// The uniform run protocol: time + memory-track Train, then score the
+/// split's valid and test pairs through Predict. Every metric in the repo
+/// reduces through em::ComputeMetrics here.
+MatcherResult RunMatcher(Matcher* matcher, const MatcherContext& ctx);
+
+}  // namespace promptem::train
+
+#endif  // PROMPTEM_TRAIN_REGISTRY_H_

@@ -1,0 +1,37 @@
+// make_train_golden — records the training-parity fixture consumed by
+// tests/train_test.cc. Run once against a known-good tree:
+//
+//   ./build/tools/make_train_golden tests/data/train_golden.json
+//
+// The fixture pins per-epoch losses and final F1 (bitwise) for the MLM
+// pre-training loop, two supervised baselines, the full PromptEM pipeline
+// (teacher + student + pruning), and two RunMethod paths, all at fixed
+// seeds. The golden test recomputes the same runs and fails on any bit
+// of drift, so training-runtime refactors cannot silently change
+// behaviour.
+
+#include <cstdio>
+#include <string>
+
+#include "../tests/train_golden_support.h"
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : "tests/data/train_golden.json";
+  const auto runs = promptem::golden::CaptureGoldenRuns();
+  const std::string json = promptem::golden::GoldenRunsToJson(runs);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %zu runs to %s\n", runs.size(), path.c_str());
+  for (const auto& run : runs) {
+    std::printf("  %-24s epochs=%zu valid_f1=%.6f test_f1=%.6f\n",
+                run.name.c_str(), run.epoch_losses.size(), run.valid_f1,
+                run.test_f1);
+  }
+  return 0;
+}

@@ -1,12 +1,17 @@
-// promptem_cli — run any matcher on a built-in benchmark or a user
-// dataset directory from the command line.
+// promptem_cli — run any registered matcher on a built-in benchmark or a
+// user dataset directory from the command line.
 //
 // Usage:
-//   promptem_cli --list
-//   promptem_cli --dataset SEMI-REL [--method PromptEM] [--rate 0.10]
+//   promptem_cli --list-matchers
+//   promptem_cli --dataset SEMI-REL [--matcher PromptEM] [--rate 0.10]
 //                [--labels N] [--seed 42] [--lm PREFIX]
+//                [--run-log run.jsonl]
 //   promptem_cli --dir path/to/dataset [--name my-data] ...
 //   promptem_cli --dataset SEMI-REL --export out_dir      # dump to files
+//
+// Matcher dispatch goes through train::MatcherRegistry, so --list-matchers
+// and the unknown-name diagnostics are derived from the registrations in
+// src/baselines/matchers.cc rather than a hand-maintained switch.
 //
 // Dataset directories follow src/data/io.h's layout (left.csv|jsonl|txt,
 // right.*, pairs_{train,valid,test}.csv).
@@ -16,15 +21,18 @@
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 
-#include "baselines/common.h"
+#include "baselines/matchers.h"
 #include "core/table_printer.h"
 #include "core/timer.h"
 #include "data/benchmarks.h"
 #include "data/io.h"
 #include "lm/pretrained_lm.h"
+#include "train/observer.h"
+#include "train/registry.h"
 
 namespace {
 
@@ -32,15 +40,17 @@ using namespace promptem;
 
 void PrintUsage() {
   std::puts(
-      "promptem_cli --list\n"
+      "promptem_cli --list | --list-matchers\n"
       "promptem_cli (--dataset NAME | --dir PATH) [options]\n"
-      "  --method M      method to run (default PromptEM); see --list\n"
+      "  --matcher M     matcher to run (default PromptEM);\n"
+      "                  see --list-matchers (--method is a legacy alias)\n"
       "  --rate R        low-resource label rate in (0,1] (default: the\n"
       "                  benchmark's Table-1 rate, 0.10 for --dir)\n"
       "  --labels N      exact labeled budget (overrides --rate)\n"
       "  --seed S        RNG seed (default 42)\n"
       "  --lm PREFIX     pre-trained LM cache prefix\n"
       "                  (default promptem_shared_lm)\n"
+      "  --run-log PATH  append one JSON record per training epoch to PATH\n"
       "  --export DIR    write the dataset to DIR and exit");
 }
 
@@ -51,14 +61,13 @@ std::optional<data::BenchmarkKind> KindByName(const std::string& name) {
   return std::nullopt;
 }
 
-std::optional<baselines::Method> MethodByName(const std::string& name) {
-  for (auto m : baselines::BaselineMethods()) {
-    if (name == baselines::MethodName(m)) return m;
+[[noreturn]] void UnknownMatcher(const std::string& name) {
+  std::fprintf(stderr, "unknown matcher '%s'; known matchers:\n",
+               name.c_str());
+  for (const auto& known : train::MatcherRegistry::Instance().AllNames()) {
+    std::fprintf(stderr, "  %s\n", known.c_str());
   }
-  for (auto m : baselines::PromptEmVariants()) {
-    if (name == baselines::MethodName(m)) return m;
-  }
-  return std::nullopt;
+  std::exit(2);
 }
 
 // Strict numeric option parsing: a value like "0.1x" or "" would
@@ -93,11 +102,14 @@ bool ParseIntArg(const char* text, long long* out) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  baselines::EnsureBaselineMatchersRegistered();
+
   std::string dataset_name;
   std::string dir;
-  std::string method_name = "PromptEM";
+  std::string matcher_name = "PromptEM";
   std::string lm_prefix = "promptem_shared_lm";
   std::string export_dir;
+  std::string run_log_path;
   std::string custom_name = "custom";
   double rate = -1.0;
   int labels = -1;
@@ -117,12 +129,16 @@ int main(int argc, char** argv) {
       for (auto kind : data::AllBenchmarks()) {
         std::printf("  %s\n", data::GetBenchmarkInfo(kind).name);
       }
-      std::puts("methods:");
-      for (auto m : baselines::BaselineMethods()) {
-        std::printf("  %s\n", baselines::MethodName(m));
+      std::puts("matchers:");
+      for (const auto& name :
+           train::MatcherRegistry::Instance().ListedNames()) {
+        std::printf("  %s\n", name.c_str());
       }
-      for (auto m : baselines::PromptEmVariants()) {
-        std::printf("  %s\n", baselines::MethodName(m));
+      return 0;
+    } else if (arg == "--list-matchers") {
+      for (const auto& name :
+           train::MatcherRegistry::Instance().ListedNames()) {
+        std::printf("%s\n", name.c_str());
       }
       return 0;
     } else if (arg == "--dataset") {
@@ -131,8 +147,10 @@ int main(int argc, char** argv) {
       dir = next();
     } else if (arg == "--name") {
       custom_name = next();
-    } else if (arg == "--method") {
-      method_name = next();
+    } else if (arg == "--matcher" || arg == "--method") {
+      matcher_name = next();
+    } else if (arg == "--run-log") {
+      run_log_path = next();
     } else if (arg == "--rate") {
       const char* value = next();
       if (!ParseDoubleArg(value, &rate) || rate <= 0.0 || rate > 1.0) {
@@ -207,11 +225,17 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  auto method = MethodByName(method_name);
-  if (!method) {
-    std::fprintf(stderr, "unknown method %s (see --list)\n",
-                 method_name.c_str());
-    return 2;
+  std::unique_ptr<train::Matcher> matcher =
+      train::MatcherRegistry::Instance().Create(matcher_name);
+  if (matcher == nullptr) UnknownMatcher(matcher_name);
+
+  std::unique_ptr<train::JsonlRunLogger> run_logger;
+  if (!run_log_path.empty()) {
+    run_logger = std::make_unique<train::JsonlRunLogger>(run_log_path);
+    if (!run_logger->ok()) {
+      std::fprintf(stderr, "cannot open run log %s\n", run_log_path.c_str());
+      return 1;
+    }
   }
 
   auto lm = lm::GetOrCreateSharedLM(lm_prefix, seed);
@@ -224,18 +248,26 @@ int main(int argc, char** argv) {
 
   std::printf("%s on %s: %zu labeled / %zu unlabeled / %zu valid / %zu "
               "test pairs\n",
-              method_name.c_str(), dataset.name.c_str(),
+              matcher_name.c_str(), dataset.name.c_str(),
               split.labeled.size(), split.unlabeled.size(),
               split.valid.size(), split.test.size());
 
-  baselines::RunOptions options;
-  options.seed = seed;
-  baselines::MethodResult result =
-      baselines::RunMethod(*method, *lm, kind, dataset, split, options);
+  train::MatcherContext ctx;
+  ctx.lm = lm.get();
+  ctx.kind = kind;
+  ctx.dataset = &dataset;
+  ctx.split = &split;
+  ctx.options.seed = seed;
+  ctx.observer = run_logger.get();
+  const train::MatcherResult result = train::RunMatcher(matcher.get(), ctx);
+
   std::printf("valid: %s\n", result.valid.ToString().c_str());
   std::printf("test:  %s\n", result.test.ToString().c_str());
   std::printf("train time %s, peak tracked memory %s\n",
               core::FormatDuration(result.train_seconds).c_str(),
               core::FormatBytes(result.peak_memory_bytes).c_str());
+  if (run_logger != nullptr) {
+    std::printf("run log appended to %s\n", run_logger->path().c_str());
+  }
   return 0;
 }
