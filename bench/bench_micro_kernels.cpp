@@ -51,6 +51,56 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
+/// The same GEMM pinned to the portable scalar kernels — the "before"
+/// half of the before/after pair BENCH_micro.json records (the dispatch
+/// default is the AVX2 table wherever the CPU has it).
+void BM_GemmScalar(benchmark::State& state) {
+  tensor::kernels::ScopedKernelVariant scalar(
+      tensor::kernels::KernelVariant::kScalar);
+  const int n = static_cast<int>(state.range(0));
+  std::vector<float> a(static_cast<size_t>(n) * n, 1.0f);
+  std::vector<float> b(static_cast<size_t>(n) * n, 2.0f);
+  std::vector<float> c(static_cast<size_t>(n) * n, 0.0f);
+  for (auto _ : state) {
+    tensor::kernels::Gemm(false, false, n, n, n, 1.0f, a.data(), b.data(),
+                          0.0f, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_GemmScalar)->Arg(128)->Arg(256);
+
+/// Int8 dynamic-quantization GEMM (u7 activations x s8 weights, int32
+/// accumulators) over the NT shape Linear runs, active-variant and
+/// scalar-pinned twins.
+void GemmInt8Body(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::Rng rng(7);
+  std::vector<uint8_t> a(static_cast<size_t>(n) * n);
+  std::vector<int8_t> b(static_cast<size_t>(n) * n);
+  for (auto& v : a) v = static_cast<uint8_t>(rng.NextU64(128));
+  for (auto& v : b) {
+    v = static_cast<int8_t>(rng.UniformInt(-127, 127));
+  }
+  std::vector<int32_t> c(static_cast<size_t>(n) * n);
+  for (auto _ : state) {
+    tensor::kernels::GemmInt8NT(n, n, n, a.data(), n, b.data(), n, c.data(),
+                                n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+
+void BM_GemmInt8(benchmark::State& state) { GemmInt8Body(state); }
+BENCHMARK(BM_GemmInt8)->Arg(128)->Arg(256);
+
+void BM_GemmInt8Scalar(benchmark::State& state) {
+  tensor::kernels::ScopedKernelVariant scalar(
+      tensor::kernels::KernelVariant::kScalar);
+  GemmInt8Body(state);
+}
+BENCHMARK(BM_GemmInt8Scalar)->Arg(256);
+
 /// Same GEMM across pool sizes: Args({n, threads}). Sizes above the
 /// parallel threshold shard rows across the pool; the result is bitwise
 /// identical at every pool size.
@@ -256,6 +306,30 @@ void BM_AttentionFused(benchmark::State& state) {
 }
 BENCHMARK(BM_AttentionFused)->Arg(32)->Arg(128);
 
+/// BM_AttentionFused pinned to the scalar kernels (the strided GEMM and
+/// the streaming-softmax exp both dispatch per variant).
+void BM_AttentionFusedScalar(benchmark::State& state) {
+  tensor::kernels::ScopedKernelVariant scalar(
+      tensor::kernels::KernelVariant::kScalar);
+  const int t = static_cast<int>(state.range(0));
+  const int d = 64;
+  const int heads = 4;
+  const float scale = 1.0f / 4.0f;
+  tensor::Tensor q = RandomAttnInput(t, d, 1);
+  tensor::Tensor k = RandomAttnInput(t, d, 2);
+  tensor::Tensor v = RandomAttnInput(t, d, 3);
+  tensor::NoGradGuard no_grad;
+  tensor::ScratchArena arena;
+  tensor::ScratchArena::Scope scope(&arena);
+  for (auto _ : state) {
+    tensor::Tensor out =
+        tensor::ops::FusedSdpa(q, k, v, heads, scale, 0.0f, nullptr);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 4LL * t * t * d);
+}
+BENCHMARK(BM_AttentionFusedScalar)->Arg(128);
+
 /// The unfused parity reference over the same inputs: per-head SelectCols
 /// copies, materialized score matrices, and a ConcatCols gather — what
 /// MultiHeadSelfAttention ran before fusion (PROMPTEM_UNFUSED_ATTENTION=1).
@@ -348,6 +422,15 @@ int main(int argc, char** argv) {
   if (!sanitize.empty()) {
     benchmark::AddCustomContext("promptem_sanitize", sanitize);
   }
+  // Which GEMM path the unpinned benchmarks actually ran (the BM_*Scalar
+  // twins pin kScalar regardless); see promptem_cli --kernel-info.
+  benchmark::AddCustomContext(
+      "promptem_kernel_variant",
+      tensor::kernels::KernelVariantName(
+          tensor::kernels::ActiveKernelVariant()));
+  benchmark::AddCustomContext(
+      "promptem_cpu_avx2",
+      tensor::kernels::CpuSupportsAvx2() ? "yes" : "no");
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

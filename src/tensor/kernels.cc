@@ -1,10 +1,14 @@
 #include "tensor/kernels.h"
 
+#include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <algorithm>
 #include <vector>
 
 #include "core/thread_pool.h"
+#include "tensor/kernels_internal.h"
 
 namespace promptem::tensor::kernels {
 
@@ -219,41 +223,11 @@ void GemmTTChunk(int i0, int i1, int n, int k, int m, float alpha,
   }
 }
 
-}  // namespace
-
-void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
-          const float* a, const float* b, float beta, float* c) {
-  const int64_t work = static_cast<int64_t>(m) * n * k;
-  const int64_t grain =
-      work >= kGemmParallelThreshold ? kGemmRowGrain : static_cast<int64_t>(m);
-  core::ParallelFor(0, m, std::max<int64_t>(grain, 1),
-                    [&](int64_t begin, int64_t end) {
-    const int i0 = static_cast<int>(begin);
-    const int i1 = static_cast<int>(end);
-    ScaleRows(c, i0, i1, n, beta);
-    if (!trans_a && !trans_b) {
-      GemmNNChunk(i0, i1, n, k, alpha, a, b, c);
-    } else if (!trans_a && trans_b) {
-      GemmNTChunk(i0, i1, n, k, alpha, a, b, c);
-    } else if (trans_a && !trans_b) {
-      GemmTNChunk(i0, i1, n, k, m, alpha, a, b, c);
-    } else {
-      GemmTTChunk(i0, i1, n, k, m, alpha, a, b, c);
-    }
-  });
-}
-
-void GemmStrided(bool trans_a, bool trans_b, int m, int n, int k,
-                 float alpha, const float* a, int lda, const float* b,
-                 int ldb, float beta, float* c, int ldc) {
-  for (int i = 0; i < m; ++i) {
-    float* crow = c + static_cast<int64_t>(i) * ldc;
-    if (beta == 0.0f) {
-      std::fill_n(crow, n, 0.0f);
-    } else if (beta != 1.0f) {
-      for (int j = 0; j < n; ++j) crow[j] *= beta;
-    }
-  }
+/// Strided single-thread GEMM, all four transpose cases (beta already
+/// applied by the dispatching wrapper).
+void GemmStridedImpl(bool trans_a, bool trans_b, int m, int n, int k,
+                     float alpha, const float* a, int lda, const float* b,
+                     int ldb, float* c, int ldc) {
   if (!trans_a && !trans_b) {
     // C[i,:] += alpha * A[i,p] * B[p,:] — unit-stride inner axpy,
     // 4-way unrolled over p so each pass over C[i,:] folds four B rows
@@ -319,6 +293,249 @@ void GemmStrided(bool trans_a, bool trans_b, int m, int n, int k,
   }
 }
 
+/// Scalar ExpRowSum: clamp pass, polynomial pass (both auto-vectorize —
+/// the structure the fused-attention kernel always used), then a fixed
+/// four-lane sum so the (deterministic) reduction is not one serial
+/// dependency chain.
+float ExpRowSumScalar(const float* x, float* out, int n, float m) {
+  for (int j = 0; j < n; ++j) {
+    const float v = x[j] - m;
+    out[j] = v < -80.0f ? -80.0f : v;
+  }
+  for (int j = 0; j < n; ++j) {
+    const float v = out[j];
+    // e = round(v * log2 e). The +127.5 bias makes the truncating
+    // float->int convert (one SSE2 lane op, unlike std::floor) a correct
+    // floor(y + 0.5) for any in-range argument.
+    const int e = static_cast<int>(v * 1.44269504089f + 127.5f) - 127;
+    const float z = static_cast<float>(e);
+    // Two-step Cody-Waite reduction keeps the remainder exact in float.
+    float r = v - z * 0.693359375f;
+    r -= z * -2.12194440e-4f;
+    float p = 1.9875691500e-4f;
+    p = p * r + 1.3981999507e-3f;
+    p = p * r + 8.3334519073e-3f;
+    p = p * r + 4.1665795894e-2f;
+    p = p * r + 1.6666665459e-1f;
+    p = p * r + 5.0000001201e-1f;
+    p = p * r * r + r + 1.0f;
+    out[j] = p * std::bit_cast<float>(static_cast<uint32_t>(e + 127) << 23);
+  }
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    s0 += out[j];
+    s1 += out[j + 1];
+    s2 += out[j + 2];
+    s3 += out[j + 3];
+  }
+  for (; j < n; ++j) s0 += out[j];
+  return (s0 + s1) + (s2 + s3);
+}
+
+/// Scalar SumExpRow: same polynomial, no store (x stays intact, which is
+/// what lets LogSoftmaxRows run with out aliasing x).
+float SumExpRowScalar(const float* x, int n, float m) {
+  float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+  int j = 0;
+  for (; j + 4 <= n; j += 4) {
+    s0 += FastExpf(x[j] - m);
+    s1 += FastExpf(x[j + 1] - m);
+    s2 += FastExpf(x[j + 2] - m);
+    s3 += FastExpf(x[j + 3] - m);
+  }
+  for (; j < n; ++j) s0 += FastExpf(x[j] - m);
+  return (s0 + s1) + (s2 + s3);
+}
+
+float RowMaxScalar(const float* x, int n) {
+  float mx = x[0];
+  for (int j = 1; j < n; ++j) mx = std::max(mx, x[j]);
+  return mx;
+}
+
+void LayerNormRowScalar(const float* x, int n, const float* gamma,
+                        const float* beta, float eps, float* out, float* mean,
+                        float* rstd) {
+  float mu = 0.0f;
+  for (int j = 0; j < n; ++j) mu += x[j];
+  mu /= static_cast<float>(n);
+  float var = 0.0f;
+  for (int j = 0; j < n; ++j) {
+    const float d = x[j] - mu;
+    var += d * d;
+  }
+  var /= static_cast<float>(n);
+  const float rs = 1.0f / std::sqrt(var + eps);
+  *mean = mu;
+  *rstd = rs;
+  for (int j = 0; j < n; ++j) {
+    out[j] = gamma[j] * (x[j] - mu) * rs + beta[j];
+  }
+}
+
+/// Exact integer u8 x s8 dots; bit-identical to the AVX2 maddubs kernel
+/// as long as A stays in [0, 127] (no saturation on either path).
+void GemmInt8NTScalar(int m, int n, int k, const uint8_t* a, int lda,
+                      const int8_t* b, int ldb, int32_t* c, int ldc) {
+  for (int i = 0; i < m; ++i) {
+    const uint8_t* arow = a + static_cast<int64_t>(i) * lda;
+    int32_t* crow = c + static_cast<int64_t>(i) * ldc;
+    for (int j = 0; j < n; ++j) {
+      const int8_t* brow = b + static_cast<int64_t>(j) * ldb;
+      int32_t acc = 0;
+      for (int p = 0; p < k; ++p) {
+        acc += static_cast<int32_t>(arow[p]) * static_cast<int32_t>(brow[p]);
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+/// The table the dispatcher swaps in; initialized lazily so the env check
+/// and CPUID run once. Benign init race: every thread resolves the same
+/// pointer.
+std::atomic<const detail::KernelTable*> g_active_table{nullptr};
+
+const detail::KernelTable* DefaultTable() {
+#ifdef PROMPTEM_HAVE_AVX2
+  if (!ScalarForced() && CpuSupportsAvx2()) return &detail::Avx2Table();
+#endif
+  return &detail::ScalarTable();
+}
+
+}  // namespace
+
+namespace detail {
+
+const KernelTable& ScalarTable() {
+  static const KernelTable table = {
+      KernelVariant::kScalar, GemmNNChunk,      GemmNTChunk,
+      GemmTNChunk,            GemmTTChunk,      GemmStridedImpl,
+      ExpRowSumScalar,        SumExpRowScalar,  RowMaxScalar,
+      LayerNormRowScalar,     GemmInt8NTScalar,
+  };
+  return table;
+}
+
+const KernelTable& Active() {
+  const KernelTable* t = g_active_table.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    t = DefaultTable();
+    g_active_table.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+}  // namespace detail
+
+KernelVariant ActiveKernelVariant() { return detail::Active().variant; }
+
+const char* KernelVariantName(KernelVariant v) {
+  return v == KernelVariant::kAvx2 ? "avx2" : "scalar";
+}
+
+bool CpuSupportsAvx2() {
+#ifdef PROMPTEM_HAVE_AVX2
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool ScalarForced() {
+  static const bool forced = [] {
+    const char* env = std::getenv("PROMPTEM_FORCE_SCALAR");
+    return env != nullptr && env[0] == '1';
+  }();
+  return forced;
+}
+
+ScopedKernelVariant::ScopedKernelVariant(KernelVariant v) {
+  prev_ = &detail::Active();
+  const detail::KernelTable* next = &detail::ScalarTable();
+#ifdef PROMPTEM_HAVE_AVX2
+  if (v == KernelVariant::kAvx2 && CpuSupportsAvx2()) {
+    next = &detail::Avx2Table();
+  }
+#else
+  (void)v;
+#endif
+  g_active_table.store(next, std::memory_order_release);
+}
+
+ScopedKernelVariant::~ScopedKernelVariant() {
+  g_active_table.store(static_cast<const detail::KernelTable*>(prev_),
+                       std::memory_order_release);
+}
+
+float FastExpf(float x) {
+  const float v = x < -80.0f ? -80.0f : x;
+  const int e = static_cast<int>(v * 1.44269504089f + 127.5f) - 127;
+  const float z = static_cast<float>(e);
+  float r = v - z * 0.693359375f;
+  r -= z * -2.12194440e-4f;
+  float p = 1.9875691500e-4f;
+  p = p * r + 1.3981999507e-3f;
+  p = p * r + 8.3334519073e-3f;
+  p = p * r + 4.1665795894e-2f;
+  p = p * r + 1.6666665459e-1f;
+  p = p * r + 5.0000001201e-1f;
+  p = p * r * r + r + 1.0f;
+  return p * std::bit_cast<float>(static_cast<uint32_t>(e + 127) << 23);
+}
+
+float ExpRowSum(const float* x, float* out, int n, float m) {
+  return detail::Active().exp_row_sum(x, out, n, m);
+}
+
+float SumExpRow(const float* x, int n, float m) {
+  return detail::Active().sum_exp_row(x, n, m);
+}
+
+void Gemm(bool trans_a, bool trans_b, int m, int n, int k, float alpha,
+          const float* a, const float* b, float beta, float* c) {
+  const detail::KernelTable& kt = detail::Active();
+  const int64_t work = static_cast<int64_t>(m) * n * k;
+  const int64_t grain =
+      work >= kGemmParallelThreshold ? kGemmRowGrain : static_cast<int64_t>(m);
+  core::ParallelFor(0, m, std::max<int64_t>(grain, 1),
+                    [&](int64_t begin, int64_t end) {
+    const int i0 = static_cast<int>(begin);
+    const int i1 = static_cast<int>(end);
+    ScaleRows(c, i0, i1, n, beta);
+    if (!trans_a && !trans_b) {
+      kt.gemm_nn_chunk(i0, i1, n, k, alpha, a, b, c);
+    } else if (!trans_a && trans_b) {
+      kt.gemm_nt_chunk(i0, i1, n, k, alpha, a, b, c);
+    } else if (trans_a && !trans_b) {
+      kt.gemm_tn_chunk(i0, i1, n, k, m, alpha, a, b, c);
+    } else {
+      kt.gemm_tt_chunk(i0, i1, n, k, m, alpha, a, b, c);
+    }
+  });
+}
+
+void GemmStrided(bool trans_a, bool trans_b, int m, int n, int k,
+                 float alpha, const float* a, int lda, const float* b,
+                 int ldb, float beta, float* c, int ldc) {
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<int64_t>(i) * ldc;
+    if (beta == 0.0f) {
+      std::fill_n(crow, n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (int j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  detail::Active().gemm_strided(trans_a, trans_b, m, n, k, alpha, a, lda, b,
+                                ldb, c, ldc);
+}
+
+void GemmInt8NT(int m, int n, int k, const uint8_t* a, int lda,
+                const int8_t* b, int ldb, int32_t* c, int ldc) {
+  detail::Active().gemm_int8_nt(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
 void CopyBlock(const float* src, int ld_src, float* dst, int ld_dst,
                int rows, int cols) {
   for (int i = 0; i < rows; ++i) {
@@ -338,6 +555,7 @@ void AddBlock(const float* src, int ld_src, float* dst, int ld_dst,
 }
 
 void SoftmaxRows(const float* x, int rows, int cols, float* out) {
+  const detail::KernelTable& kt = detail::Active();
   const int64_t grain =
       static_cast<int64_t>(rows) * cols >= kRowParallelThreshold
           ? kRowGrain
@@ -347,13 +565,8 @@ void SoftmaxRows(const float* x, int rows, int cols, float* out) {
     for (int64_t i = begin; i < end; ++i) {
       const float* xi = x + i * cols;
       float* oi = out + i * cols;
-      float mx = xi[0];
-      for (int j = 1; j < cols; ++j) mx = std::max(mx, xi[j]);
-      float sum = 0.0f;
-      for (int j = 0; j < cols; ++j) {
-        oi[j] = std::exp(xi[j] - mx);
-        sum += oi[j];
-      }
+      const float mx = kt.row_max(xi, cols);
+      const float sum = kt.exp_row_sum(xi, oi, cols, mx);
       const float inv = 1.0f / sum;
       for (int j = 0; j < cols; ++j) oi[j] *= inv;
     }
@@ -361,6 +574,7 @@ void SoftmaxRows(const float* x, int rows, int cols, float* out) {
 }
 
 void LogSoftmaxRows(const float* x, int rows, int cols, float* out) {
+  const detail::KernelTable& kt = detail::Active();
   const int64_t grain =
       static_cast<int64_t>(rows) * cols >= kRowParallelThreshold
           ? kRowGrain
@@ -370,10 +584,8 @@ void LogSoftmaxRows(const float* x, int rows, int cols, float* out) {
     for (int64_t i = begin; i < end; ++i) {
       const float* xi = x + i * cols;
       float* oi = out + i * cols;
-      float mx = xi[0];
-      for (int j = 1; j < cols; ++j) mx = std::max(mx, xi[j]);
-      float sum = 0.0f;
-      for (int j = 0; j < cols; ++j) sum += std::exp(xi[j] - mx);
+      const float mx = kt.row_max(xi, cols);
+      const float sum = kt.sum_exp_row(xi, cols, mx);
       const float lse = mx + std::log(sum);
       for (int j = 0; j < cols; ++j) oi[j] = xi[j] - lse;
     }
@@ -383,6 +595,7 @@ void LogSoftmaxRows(const float* x, int rows, int cols, float* out) {
 void LayerNormForward(const float* x, int rows, int cols, const float* gamma,
                       const float* beta, float eps, float* out, float* mean,
                       float* rstd) {
+  const detail::KernelTable& kt = detail::Active();
   const int64_t grain =
       static_cast<int64_t>(rows) * cols >= kRowParallelThreshold
           ? kRowGrain
@@ -390,23 +603,8 @@ void LayerNormForward(const float* x, int rows, int cols, const float* gamma,
   core::ParallelFor(0, rows, std::max<int64_t>(grain, 1),
                     [&](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
-      const float* xi = x + i * cols;
-      float* oi = out + i * cols;
-      float mu = 0.0f;
-      for (int j = 0; j < cols; ++j) mu += xi[j];
-      mu /= static_cast<float>(cols);
-      float var = 0.0f;
-      for (int j = 0; j < cols; ++j) {
-        const float d = xi[j] - mu;
-        var += d * d;
-      }
-      var /= static_cast<float>(cols);
-      const float rs = 1.0f / std::sqrt(var + eps);
-      mean[i] = mu;
-      rstd[i] = rs;
-      for (int j = 0; j < cols; ++j) {
-        oi[j] = gamma[j] * (xi[j] - mu) * rs + beta[j];
-      }
+      kt.layernorm_row(x + i * cols, cols, gamma, beta, eps, out + i * cols,
+                       mean + i, rstd + i);
     }
   });
 }

@@ -5,6 +5,45 @@
 
 namespace promptem::tensor::kernels {
 
+/// Kernel implementation variants. kScalar is the portable reference
+/// (auto-vectorized tiled loops); kAvx2 is the hand-written AVX2/FMA
+/// micro-kernel set, selected at startup when CPUID reports AVX2+FMA.
+/// Results are bitwise deterministic at any pool size *within* one
+/// variant; across variants they agree only to floating-point tolerance
+/// (FMA contraction, 8-lane reduction trees) — except the int8 GEMM,
+/// whose integer arithmetic is exact and bit-identical in both.
+enum class KernelVariant { kScalar = 0, kAvx2 = 1 };
+
+/// The variant every dispatched kernel currently runs.
+KernelVariant ActiveKernelVariant();
+
+/// "scalar" / "avx2".
+const char* KernelVariantName(KernelVariant v);
+
+/// True when this binary carries AVX2 kernels *and* the CPU reports
+/// AVX2+FMA at runtime.
+bool CpuSupportsAvx2();
+
+/// True when PROMPTEM_FORCE_SCALAR=1 was set in the environment (the
+/// supported way to pin the portable fallback for CI and A/B runs).
+bool ScalarForced();
+
+/// RAII override of the active variant, for parity tests and the
+/// before/after benchmark pairs. Takes effect process-wide; do not
+/// construct concurrently with kernel calls on other (non-pool) threads.
+/// Requesting kAvx2 without CPU support falls back to kScalar.
+class ScopedKernelVariant {
+ public:
+  explicit ScopedKernelVariant(KernelVariant v);
+  ~ScopedKernelVariant();
+
+  ScopedKernelVariant(const ScopedKernelVariant&) = delete;
+  ScopedKernelVariant& operator=(const ScopedKernelVariant&) = delete;
+
+ private:
+  const void* prev_;
+};
+
 /// General matrix multiply: C = alpha * op(A) * op(B) + beta * C, where
 /// op is optional transposition. op(A) is m x k, op(B) is k x n, C is m x n.
 /// A and B are row-major with their *stored* (pre-transpose) layouts:
@@ -53,6 +92,22 @@ void GemmStrided(bool trans_a, bool trans_b, int m, int n, int k,
                  float alpha, const float* a, int lda, const float* b,
                  int ldb, float beta, float* c, int ldc);
 
+/// The repo's one fast expf (Cephes-style: round to a multiple of ln 2,
+/// degree-5 minimax polynomial on the remainder, 2^e through the exponent
+/// bits). Relative error vs std::expf is ~1.2e-7 on the post-max-
+/// subtraction domain every softmax feeds it (x <= 0); inputs below -80
+/// clamp (exp(-80) ~ 2e-35) and NaN propagates. Valid up to ~+80 on the
+/// positive side, but every in-repo caller subtracts the row max first.
+float FastExpf(float x);
+
+/// out[j] = exp(x[j] - m) for j in [0, n); returns sum_j out[j]. x and
+/// out may alias elementwise (the streaming-softmax in-place case). The
+/// summation grouping is a pure function of n, never of the pool size.
+float ExpRowSum(const float* x, float* out, int n, float m);
+
+/// sum_j exp(x[j] - m) without writing the exponentials (log-softmax).
+float SumExpRow(const float* x, int n, float m);
+
 /// dst[i, 0:cols) = src[i, 0:cols) for rows rows, with row strides
 /// ld_src / ld_dst. The view-based column-block copy behind ops::SliceCols.
 void CopyBlock(const float* src, int ld_src, float* dst, int ld_dst,
@@ -62,6 +117,17 @@ void CopyBlock(const float* src, int ld_src, float* dst, int ld_dst,
 /// backward of a column-block slice).
 void AddBlock(const float* src, int ld_src, float* dst, int ld_dst,
               int rows, int cols);
+
+/// Integer GEMM for the dynamically quantized inference path:
+/// C[i, j] (int32) = sum_p A[i, p] * B[j, p], with A an m x k matrix of
+/// u8 activations (row stride lda) and B an n x k matrix of s8 weights
+/// (row stride ldb) — the NT shape of Linear's x @ W^T. A's values must
+/// stay in [0, 127] (the u7 activation contract from tensor/quant.h);
+/// that bound keeps the AVX2 maddubs pair-sums inside int16 range, so
+/// the arithmetic is exact and the scalar and AVX2 variants produce
+/// identical bits. Runs on the calling thread.
+void GemmInt8NT(int m, int n, int k, const uint8_t* a, int lda,
+                const int8_t* b, int ldb, int32_t* c, int ldc);
 
 /// Tanh-approximation GELU and its derivative.
 float Gelu(float x);

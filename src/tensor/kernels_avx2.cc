@@ -1,0 +1,735 @@
+// AVX2/FMA micro-kernels behind tensor/kernels.cc's dispatch table.
+//
+// This translation unit is the only one compiled with -mavx2 -mfma (see
+// src/CMakeLists.txt); it is entered exclusively through function
+// pointers resolved after a CPUID check, so the binary still runs on
+// pre-AVX2 hardware (and under PROMPTEM_FORCE_SCALAR=1, which pins the
+// portable table). When the toolchain cannot target AVX2 the whole file
+// compiles to nothing and dispatch never offers the variant.
+//
+// Determinism: every loop below is a pure function of the problem shape —
+// tile walk order, reduction trees, and tails never depend on the pool
+// size — so results are bitwise identical for any PROMPTEM_NUM_THREADS.
+// Relative to the scalar variant the float kernels differ by FMA
+// contraction and 8-lane reduction grouping (documented tolerance, see
+// DESIGN.md); the int8 kernel is exact integer arithmetic and matches
+// the scalar variant bit for bit.
+
+#ifdef PROMPTEM_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "tensor/kernels_internal.h"
+
+namespace promptem::tensor::kernels::detail {
+
+namespace {
+
+// Same blocking constants as the scalar tiles (kernels.cc): k panels of
+// 256, 4 x 16 register microtile for the NN case.
+constexpr int kKc = 256;
+
+/// Horizontal sum of one __m256 (fixed tree: lanes pair up the same way
+/// every call, keeping the reduction deterministic).
+inline float HSum(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  __m128 s = _mm_add_ps(lo, hi);
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+inline int32_t HSumI32(__m256i v) {
+  const __m128i lo = _mm256_castsi256_si128(v);
+  const __m128i hi = _mm256_extracti128_si256(v, 1);
+  __m128i s = _mm_add_epi32(lo, hi);
+  s = _mm_add_epi32(s, _mm_unpackhi_epi64(s, s));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 1));
+  return _mm_cvtsi128_si32(s);
+}
+
+/// 8-lane Cephes-style expf on v - m: the same clamp, Cody-Waite
+/// reduction, and degree-5 minimax polynomial as kernels::FastExpf, with
+/// the truncating convert matching the scalar float->int cast exactly.
+inline __m256 ExpPs(__m256 x) {
+  const __m256 clamp = _mm256_set1_ps(-80.0f);
+  __m256 v = _mm256_max_ps(x, clamp);
+  const __m256 log2e = _mm256_set1_ps(1.44269504089f);
+  const __m256 bias = _mm256_set1_ps(127.5f);
+  const __m256i e =
+      _mm256_sub_epi32(_mm256_cvttps_epi32(_mm256_fmadd_ps(v, log2e, bias)),
+                       _mm256_set1_epi32(127));
+  const __m256 z = _mm256_cvtepi32_ps(e);
+  __m256 r = _mm256_fnmadd_ps(z, _mm256_set1_ps(0.693359375f), v);
+  r = _mm256_fnmadd_ps(z, _mm256_set1_ps(-2.12194440e-4f), r);
+  __m256 p = _mm256_set1_ps(1.9875691500e-4f);
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.3981999507e-3f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(8.3334519073e-3f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(4.1665795894e-2f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(1.6666665459e-1f));
+  p = _mm256_fmadd_ps(p, r, _mm256_set1_ps(5.0000001201e-1f));
+  p = _mm256_fmadd_ps(_mm256_mul_ps(p, r), r, _mm256_add_ps(r,
+                      _mm256_set1_ps(1.0f)));
+  const __m256i pow2 = _mm256_slli_epi32(
+      _mm256_add_epi32(e, _mm256_set1_epi32(127)), 23);
+  return _mm256_mul_ps(p, _mm256_castsi256_ps(pow2));
+}
+
+// ---------------------------------------------------------------------------
+// GEMM NN: 4 x 16 microtile (8 FMA accumulators), k-panel outer loop.
+
+void GemmNNChunkAvx2(int i0, int i1, int n, int k, float alpha,
+                     const float* a, const float* b, float* c) {
+  const __m256 valpha = _mm256_set1_ps(alpha);
+  for (int pc = 0; pc < k; pc += kKc) {
+    const int pe = std::min(k, pc + kKc);
+    int i = i0;
+    for (; i + 4 <= i1; i += 4) {
+      const float* a0 = a + static_cast<int64_t>(i) * k;
+      const float* a1 = a0 + k;
+      const float* a2 = a1 + k;
+      const float* a3 = a2 + k;
+      int j = 0;
+      for (; j + 16 <= n; j += 16) {
+        __m256 c00 = _mm256_setzero_ps(), c01 = _mm256_setzero_ps();
+        __m256 c10 = _mm256_setzero_ps(), c11 = _mm256_setzero_ps();
+        __m256 c20 = _mm256_setzero_ps(), c21 = _mm256_setzero_ps();
+        __m256 c30 = _mm256_setzero_ps(), c31 = _mm256_setzero_ps();
+        for (int p = pc; p < pe; ++p) {
+          const float* bp = b + static_cast<int64_t>(p) * n + j;
+          const __m256 b0 = _mm256_loadu_ps(bp);
+          const __m256 b1 = _mm256_loadu_ps(bp + 8);
+          __m256 v = _mm256_broadcast_ss(a0 + p);
+          c00 = _mm256_fmadd_ps(v, b0, c00);
+          c01 = _mm256_fmadd_ps(v, b1, c01);
+          v = _mm256_broadcast_ss(a1 + p);
+          c10 = _mm256_fmadd_ps(v, b0, c10);
+          c11 = _mm256_fmadd_ps(v, b1, c11);
+          v = _mm256_broadcast_ss(a2 + p);
+          c20 = _mm256_fmadd_ps(v, b0, c20);
+          c21 = _mm256_fmadd_ps(v, b1, c21);
+          v = _mm256_broadcast_ss(a3 + p);
+          c30 = _mm256_fmadd_ps(v, b0, c30);
+          c31 = _mm256_fmadd_ps(v, b1, c31);
+        }
+        float* c0 = c + static_cast<int64_t>(i) * n + j;
+        float* c1 = c0 + n;
+        float* c2 = c1 + n;
+        float* c3 = c2 + n;
+        _mm256_storeu_ps(c0, _mm256_fmadd_ps(valpha, c00,
+                                             _mm256_loadu_ps(c0)));
+        _mm256_storeu_ps(c0 + 8, _mm256_fmadd_ps(valpha, c01,
+                                                 _mm256_loadu_ps(c0 + 8)));
+        _mm256_storeu_ps(c1, _mm256_fmadd_ps(valpha, c10,
+                                             _mm256_loadu_ps(c1)));
+        _mm256_storeu_ps(c1 + 8, _mm256_fmadd_ps(valpha, c11,
+                                                 _mm256_loadu_ps(c1 + 8)));
+        _mm256_storeu_ps(c2, _mm256_fmadd_ps(valpha, c20,
+                                             _mm256_loadu_ps(c2)));
+        _mm256_storeu_ps(c2 + 8, _mm256_fmadd_ps(valpha, c21,
+                                                 _mm256_loadu_ps(c2 + 8)));
+        _mm256_storeu_ps(c3, _mm256_fmadd_ps(valpha, c30,
+                                             _mm256_loadu_ps(c3)));
+        _mm256_storeu_ps(c3 + 8, _mm256_fmadd_ps(valpha, c31,
+                                                 _mm256_loadu_ps(c3 + 8)));
+      }
+      // 8-wide j tail.
+      for (; j + 8 <= n; j += 8) {
+        __m256 c0v = _mm256_setzero_ps(), c1v = _mm256_setzero_ps();
+        __m256 c2v = _mm256_setzero_ps(), c3v = _mm256_setzero_ps();
+        for (int p = pc; p < pe; ++p) {
+          const __m256 bv = _mm256_loadu_ps(b + static_cast<int64_t>(p) * n
+                                            + j);
+          c0v = _mm256_fmadd_ps(_mm256_broadcast_ss(a0 + p), bv, c0v);
+          c1v = _mm256_fmadd_ps(_mm256_broadcast_ss(a1 + p), bv, c1v);
+          c2v = _mm256_fmadd_ps(_mm256_broadcast_ss(a2 + p), bv, c2v);
+          c3v = _mm256_fmadd_ps(_mm256_broadcast_ss(a3 + p), bv, c3v);
+        }
+        float* c0 = c + static_cast<int64_t>(i) * n + j;
+        float* c1 = c0 + n;
+        float* c2 = c1 + n;
+        float* c3 = c2 + n;
+        _mm256_storeu_ps(c0, _mm256_fmadd_ps(valpha, c0v,
+                                             _mm256_loadu_ps(c0)));
+        _mm256_storeu_ps(c1, _mm256_fmadd_ps(valpha, c1v,
+                                             _mm256_loadu_ps(c1)));
+        _mm256_storeu_ps(c2, _mm256_fmadd_ps(valpha, c2v,
+                                             _mm256_loadu_ps(c2)));
+        _mm256_storeu_ps(c3, _mm256_fmadd_ps(valpha, c3v,
+                                             _mm256_loadu_ps(c3)));
+      }
+      // Scalar j tail.
+      for (; j < n; ++j) {
+        float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+        for (int p = pc; p < pe; ++p) {
+          const float bv = b[static_cast<int64_t>(p) * n + j];
+          s0 += a0[p] * bv;
+          s1 += a1[p] * bv;
+          s2 += a2[p] * bv;
+          s3 += a3[p] * bv;
+        }
+        c[static_cast<int64_t>(i) * n + j] += alpha * s0;
+        c[static_cast<int64_t>(i + 1) * n + j] += alpha * s1;
+        c[static_cast<int64_t>(i + 2) * n + j] += alpha * s2;
+        c[static_cast<int64_t>(i + 3) * n + j] += alpha * s3;
+      }
+    }
+    // Ragged row tail, one row at a time.
+    for (; i < i1; ++i) {
+      const float* arow = a + static_cast<int64_t>(i) * k;
+      float* crow = c + static_cast<int64_t>(i) * n;
+      int j = 0;
+      for (; j + 8 <= n; j += 8) {
+        __m256 acc = _mm256_setzero_ps();
+        for (int p = pc; p < pe; ++p) {
+          acc = _mm256_fmadd_ps(
+              _mm256_broadcast_ss(arow + p),
+              _mm256_loadu_ps(b + static_cast<int64_t>(p) * n + j), acc);
+        }
+        _mm256_storeu_ps(crow + j, _mm256_fmadd_ps(valpha, acc,
+                                                   _mm256_loadu_ps(crow + j)));
+      }
+      for (; j < n; ++j) {
+        float s = 0.0f;
+        for (int p = pc; p < pe; ++p) {
+          s += arow[p] * b[static_cast<int64_t>(p) * n + j];
+        }
+        crow[j] += alpha * s;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GEMM NT: 2 x 4 dot-product block, 8-lane accumulators over k.
+
+void GemmNTChunkAvx2(int i0, int i1, int n, int k, float alpha,
+                     const float* a, const float* b, float* c) {
+  int i = i0;
+  for (; i + 2 <= i1; i += 2) {
+    const float* a0 = a + static_cast<int64_t>(i) * k;
+    const float* a1 = a0 + k;
+    float* c0 = c + static_cast<int64_t>(i) * n;
+    float* c1 = c0 + n;
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + static_cast<int64_t>(j) * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      __m256 s00 = _mm256_setzero_ps(), s01 = _mm256_setzero_ps();
+      __m256 s02 = _mm256_setzero_ps(), s03 = _mm256_setzero_ps();
+      __m256 s10 = _mm256_setzero_ps(), s11 = _mm256_setzero_ps();
+      __m256 s12 = _mm256_setzero_ps(), s13 = _mm256_setzero_ps();
+      int p = 0;
+      for (; p + 8 <= k; p += 8) {
+        const __m256 v0 = _mm256_loadu_ps(a0 + p);
+        const __m256 v1 = _mm256_loadu_ps(a1 + p);
+        const __m256 w0 = _mm256_loadu_ps(b0 + p);
+        const __m256 w1 = _mm256_loadu_ps(b1 + p);
+        const __m256 w2 = _mm256_loadu_ps(b2 + p);
+        const __m256 w3 = _mm256_loadu_ps(b3 + p);
+        s00 = _mm256_fmadd_ps(v0, w0, s00);
+        s01 = _mm256_fmadd_ps(v0, w1, s01);
+        s02 = _mm256_fmadd_ps(v0, w2, s02);
+        s03 = _mm256_fmadd_ps(v0, w3, s03);
+        s10 = _mm256_fmadd_ps(v1, w0, s10);
+        s11 = _mm256_fmadd_ps(v1, w1, s11);
+        s12 = _mm256_fmadd_ps(v1, w2, s12);
+        s13 = _mm256_fmadd_ps(v1, w3, s13);
+      }
+      float t00 = HSum(s00), t01 = HSum(s01), t02 = HSum(s02),
+            t03 = HSum(s03);
+      float t10 = HSum(s10), t11 = HSum(s11), t12 = HSum(s12),
+            t13 = HSum(s13);
+      for (; p < k; ++p) {
+        const float v0 = a0[p];
+        const float v1 = a1[p];
+        t00 += v0 * b0[p];
+        t01 += v0 * b1[p];
+        t02 += v0 * b2[p];
+        t03 += v0 * b3[p];
+        t10 += v1 * b0[p];
+        t11 += v1 * b1[p];
+        t12 += v1 * b2[p];
+        t13 += v1 * b3[p];
+      }
+      c0[j] += alpha * t00;
+      c0[j + 1] += alpha * t01;
+      c0[j + 2] += alpha * t02;
+      c0[j + 3] += alpha * t03;
+      c1[j] += alpha * t10;
+      c1[j + 1] += alpha * t11;
+      c1[j + 2] += alpha * t12;
+      c1[j + 3] += alpha * t13;
+    }
+    for (; j < n; ++j) {
+      const float* bj = b + static_cast<int64_t>(j) * k;
+      __m256 s0 = _mm256_setzero_ps(), s1 = _mm256_setzero_ps();
+      int p = 0;
+      for (; p + 8 <= k; p += 8) {
+        const __m256 w = _mm256_loadu_ps(bj + p);
+        s0 = _mm256_fmadd_ps(_mm256_loadu_ps(a0 + p), w, s0);
+        s1 = _mm256_fmadd_ps(_mm256_loadu_ps(a1 + p), w, s1);
+      }
+      float t0 = HSum(s0), t1 = HSum(s1);
+      for (; p < k; ++p) {
+        t0 += a0[p] * bj[p];
+        t1 += a1[p] * bj[p];
+      }
+      c0[j] += alpha * t0;
+      c1[j] += alpha * t1;
+    }
+  }
+  for (; i < i1; ++i) {
+    const float* arow = a + static_cast<int64_t>(i) * k;
+    float* crow = c + static_cast<int64_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const float* bj = b + static_cast<int64_t>(j) * k;
+      __m256 s = _mm256_setzero_ps();
+      int p = 0;
+      for (; p + 8 <= k; p += 8) {
+        s = _mm256_fmadd_ps(_mm256_loadu_ps(arow + p),
+                            _mm256_loadu_ps(bj + p), s);
+      }
+      float t = HSum(s);
+      for (; p < k; ++p) t += arow[p] * bj[p];
+      crow[j] += alpha * t;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GEMM TN: p-outer axpy — broadcast A^T[i, p], stream B's row p.
+
+void GemmTNChunkAvx2(int i0, int i1, int n, int k, int m, float alpha,
+                     const float* a, const float* b, float* c) {
+  for (int p = 0; p < k; ++p) {
+    const float* ap = a + static_cast<int64_t>(p) * m;
+    const float* bp = b + static_cast<int64_t>(p) * n;
+    for (int i = i0; i < i1; ++i) {
+      const float av = alpha * ap[i];
+      const __m256 vav = _mm256_set1_ps(av);
+      float* crow = c + static_cast<int64_t>(i) * n;
+      int j = 0;
+      for (; j + 8 <= n; j += 8) {
+        _mm256_storeu_ps(crow + j,
+                         _mm256_fmadd_ps(vav, _mm256_loadu_ps(bp + j),
+                                         _mm256_loadu_ps(crow + j)));
+      }
+      for (; j < n; ++j) crow[j] += av * bp[j];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GEMM TT: 8 x 2 column microtile. A's row p is unit stride over i, so
+// eight C rows accumulate in one register; the [8, 2] result scatters
+// through a stack spill (C columns are strided).
+
+void GemmTTChunkAvx2(int i0, int i1, int n, int k, int m, float alpha,
+                     const float* a, const float* b, float* c) {
+  const __m256 valpha = _mm256_set1_ps(alpha);
+  int i = i0;
+  for (; i + 8 <= i1; i += 8) {
+    int j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const float* b0 = b + static_cast<int64_t>(j) * k;
+      const float* b1 = b0 + k;
+      __m256 acc0 = _mm256_setzero_ps();
+      __m256 acc1 = _mm256_setzero_ps();
+      for (int p = 0; p < k; ++p) {
+        const __m256 av = _mm256_loadu_ps(a + static_cast<int64_t>(p) * m
+                                          + i);
+        acc0 = _mm256_fmadd_ps(av, _mm256_broadcast_ss(b0 + p), acc0);
+        acc1 = _mm256_fmadd_ps(av, _mm256_broadcast_ss(b1 + p), acc1);
+      }
+      alignas(32) float t0[8];
+      alignas(32) float t1[8];
+      _mm256_store_ps(t0, _mm256_mul_ps(valpha, acc0));
+      _mm256_store_ps(t1, _mm256_mul_ps(valpha, acc1));
+      for (int r = 0; r < 8; ++r) {
+        float* crow = c + static_cast<int64_t>(i + r) * n + j;
+        crow[0] += t0[r];
+        crow[1] += t1[r];
+      }
+    }
+    for (; j < n; ++j) {
+      const float* bj = b + static_cast<int64_t>(j) * k;
+      __m256 acc = _mm256_setzero_ps();
+      for (int p = 0; p < k; ++p) {
+        acc = _mm256_fmadd_ps(
+            _mm256_loadu_ps(a + static_cast<int64_t>(p) * m + i),
+            _mm256_broadcast_ss(bj + p), acc);
+      }
+      alignas(32) float t[8];
+      _mm256_store_ps(t, _mm256_mul_ps(valpha, acc));
+      for (int r = 0; r < 8; ++r) {
+        c[static_cast<int64_t>(i + r) * n + j] += t[r];
+      }
+    }
+  }
+  // Ragged row tail: scalar indexed loop (same shape as the reference).
+  for (; i < i1; ++i) {
+    float* crow = c + static_cast<int64_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = alpha * a[static_cast<int64_t>(p) * m + i];
+      for (int j = 0; j < n; ++j) {
+        crow[j] += av * b[static_cast<int64_t>(j) * k + p];
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Strided GEMM (single thread, per-head attention views).
+
+void GemmStridedAvx2(bool trans_a, bool trans_b, int m, int n, int k,
+                     float alpha, const float* a, int lda, const float* b,
+                     int ldb, float* c, int ldc) {
+  if (!trans_a && !trans_b) {
+    // axpy with 4-way p unroll: crow += sum of four broadcast*B-row FMAs.
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<int64_t>(i) * lda;
+      float* crow = c + static_cast<int64_t>(i) * ldc;
+      int p = 0;
+      for (; p + 4 <= k; p += 4) {
+        const __m256 a0 = _mm256_set1_ps(alpha * arow[p]);
+        const __m256 a1 = _mm256_set1_ps(alpha * arow[p + 1]);
+        const __m256 a2 = _mm256_set1_ps(alpha * arow[p + 2]);
+        const __m256 a3 = _mm256_set1_ps(alpha * arow[p + 3]);
+        const float* b0 = b + static_cast<int64_t>(p) * ldb;
+        const float* b1 = b0 + ldb;
+        const float* b2 = b1 + ldb;
+        const float* b3 = b2 + ldb;
+        int j = 0;
+        for (; j + 8 <= n; j += 8) {
+          __m256 acc = _mm256_loadu_ps(crow + j);
+          acc = _mm256_fmadd_ps(a0, _mm256_loadu_ps(b0 + j), acc);
+          acc = _mm256_fmadd_ps(a1, _mm256_loadu_ps(b1 + j), acc);
+          acc = _mm256_fmadd_ps(a2, _mm256_loadu_ps(b2 + j), acc);
+          acc = _mm256_fmadd_ps(a3, _mm256_loadu_ps(b3 + j), acc);
+          _mm256_storeu_ps(crow + j, acc);
+        }
+        const float f0 = alpha * arow[p];
+        const float f1 = alpha * arow[p + 1];
+        const float f2 = alpha * arow[p + 2];
+        const float f3 = alpha * arow[p + 3];
+        for (; j < n; ++j) {
+          crow[j] += f0 * b0[j] + f1 * b1[j] + f2 * b2[j] + f3 * b3[j];
+        }
+      }
+      for (; p < k; ++p) {
+        const float av = alpha * arow[p];
+        const __m256 vav = _mm256_set1_ps(av);
+        const float* brow = b + static_cast<int64_t>(p) * ldb;
+        int j = 0;
+        for (; j + 8 <= n; j += 8) {
+          _mm256_storeu_ps(crow + j,
+                           _mm256_fmadd_ps(vav, _mm256_loadu_ps(brow + j),
+                                           _mm256_loadu_ps(crow + j)));
+        }
+        for (; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!trans_a && trans_b) {
+    // Unit-stride dots, 1 x 4 j block.
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<int64_t>(i) * lda;
+      float* crow = c + static_cast<int64_t>(i) * ldc;
+      int j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const float* b0 = b + static_cast<int64_t>(j) * ldb;
+        const float* b1 = b0 + ldb;
+        const float* b2 = b1 + ldb;
+        const float* b3 = b2 + ldb;
+        __m256 s0 = _mm256_setzero_ps(), s1 = _mm256_setzero_ps();
+        __m256 s2 = _mm256_setzero_ps(), s3 = _mm256_setzero_ps();
+        int p = 0;
+        for (; p + 8 <= k; p += 8) {
+          const __m256 av = _mm256_loadu_ps(arow + p);
+          s0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b0 + p), s0);
+          s1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b1 + p), s1);
+          s2 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b2 + p), s2);
+          s3 = _mm256_fmadd_ps(av, _mm256_loadu_ps(b3 + p), s3);
+        }
+        float t0 = HSum(s0), t1 = HSum(s1), t2 = HSum(s2), t3 = HSum(s3);
+        for (; p < k; ++p) {
+          const float av = arow[p];
+          t0 += av * b0[p];
+          t1 += av * b1[p];
+          t2 += av * b2[p];
+          t3 += av * b3[p];
+        }
+        crow[j] += alpha * t0;
+        crow[j + 1] += alpha * t1;
+        crow[j + 2] += alpha * t2;
+        crow[j + 3] += alpha * t3;
+      }
+      for (; j < n; ++j) {
+        const float* bj = b + static_cast<int64_t>(j) * ldb;
+        __m256 s = _mm256_setzero_ps();
+        int p = 0;
+        for (; p + 8 <= k; p += 8) {
+          s = _mm256_fmadd_ps(_mm256_loadu_ps(arow + p),
+                              _mm256_loadu_ps(bj + p), s);
+        }
+        float t = HSum(s);
+        for (; p < k; ++p) t += arow[p] * bj[p];
+        crow[j] += alpha * t;
+      }
+    }
+  } else if (trans_a && !trans_b) {
+    for (int p = 0; p < k; ++p) {
+      const float* ap = a + static_cast<int64_t>(p) * lda;
+      const float* bp = b + static_cast<int64_t>(p) * ldb;
+      for (int i = 0; i < m; ++i) {
+        const float av = alpha * ap[i];
+        const __m256 vav = _mm256_set1_ps(av);
+        float* crow = c + static_cast<int64_t>(i) * ldc;
+        int j = 0;
+        for (; j + 8 <= n; j += 8) {
+          _mm256_storeu_ps(crow + j,
+                           _mm256_fmadd_ps(vav, _mm256_loadu_ps(bp + j),
+                                           _mm256_loadu_ps(crow + j)));
+        }
+        for (; j < n; ++j) crow[j] += av * bp[j];
+      }
+    }
+  } else {
+    // TT: 8 x 1 column microtile over the unit-stride i axis of A.
+    int i = 0;
+    for (; i + 8 <= m; i += 8) {
+      for (int j = 0; j < n; ++j) {
+        const float* bj = b + static_cast<int64_t>(j) * ldb;
+        __m256 acc = _mm256_setzero_ps();
+        for (int p = 0; p < k; ++p) {
+          acc = _mm256_fmadd_ps(
+              _mm256_loadu_ps(a + static_cast<int64_t>(p) * lda + i),
+              _mm256_broadcast_ss(bj + p), acc);
+        }
+        alignas(32) float t[8];
+        _mm256_store_ps(t, _mm256_mul_ps(_mm256_set1_ps(alpha), acc));
+        for (int r = 0; r < 8; ++r) {
+          c[static_cast<int64_t>(i + r) * ldc + j] += t[r];
+        }
+      }
+    }
+    for (; i < m; ++i) {
+      float* crow = c + static_cast<int64_t>(i) * ldc;
+      for (int p = 0; p < k; ++p) {
+        const float av = alpha * a[static_cast<int64_t>(p) * lda + i];
+        for (int j = 0; j < n; ++j) {
+          crow[j] += av * b[static_cast<int64_t>(j) * ldb + p];
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Row primitives.
+
+float ExpRowSumAvx2(const float* x, float* out, int n, float m) {
+  const __m256 vm = _mm256_set1_ps(m);
+  __m256 vsum = _mm256_setzero_ps();
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 e = ExpPs(_mm256_sub_ps(_mm256_loadu_ps(x + j), vm));
+    _mm256_storeu_ps(out + j, e);
+    vsum = _mm256_add_ps(vsum, e);
+  }
+  float sum = HSum(vsum);
+  for (; j < n; ++j) {
+    const float e = FastExpf(x[j] - m);
+    out[j] = e;
+    sum += e;
+  }
+  return sum;
+}
+
+float SumExpRowAvx2(const float* x, int n, float m) {
+  const __m256 vm = _mm256_set1_ps(m);
+  __m256 vsum = _mm256_setzero_ps();
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    vsum = _mm256_add_ps(vsum,
+                         ExpPs(_mm256_sub_ps(_mm256_loadu_ps(x + j), vm)));
+  }
+  float sum = HSum(vsum);
+  for (; j < n; ++j) sum += FastExpf(x[j] - m);
+  return sum;
+}
+
+float RowMaxAvx2(const float* x, int n) {
+  int j = 0;
+  float mx;
+  if (n >= 8) {
+    __m256 vmax = _mm256_loadu_ps(x);
+    for (j = 8; j + 8 <= n; j += 8) {
+      vmax = _mm256_max_ps(vmax, _mm256_loadu_ps(x + j));
+    }
+    const __m128 lo = _mm256_castps256_ps128(vmax);
+    const __m128 hi = _mm256_extractf128_ps(vmax, 1);
+    __m128 s = _mm_max_ps(lo, hi);
+    s = _mm_max_ps(s, _mm_movehl_ps(s, s));
+    s = _mm_max_ss(s, _mm_shuffle_ps(s, s, 1));
+    mx = _mm_cvtss_f32(s);
+  } else {
+    mx = x[0];
+    j = 1;
+  }
+  for (; j < n; ++j) mx = std::max(mx, x[j]);
+  return mx;
+}
+
+void LayerNormRowAvx2(const float* x, int n, const float* gamma,
+                      const float* beta, float eps, float* out, float* mean,
+                      float* rstd) {
+  __m256 vsum = _mm256_setzero_ps();
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    vsum = _mm256_add_ps(vsum, _mm256_loadu_ps(x + j));
+  }
+  float mu = HSum(vsum);
+  for (; j < n; ++j) mu += x[j];
+  mu /= static_cast<float>(n);
+
+  const __m256 vmu = _mm256_set1_ps(mu);
+  __m256 vvar = _mm256_setzero_ps();
+  j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 d = _mm256_sub_ps(_mm256_loadu_ps(x + j), vmu);
+    vvar = _mm256_fmadd_ps(d, d, vvar);
+  }
+  float var = HSum(vvar);
+  for (; j < n; ++j) {
+    const float d = x[j] - mu;
+    var += d * d;
+  }
+  var /= static_cast<float>(n);
+
+  const float rs = 1.0f / std::sqrt(var + eps);
+  *mean = mu;
+  *rstd = rs;
+  const __m256 vrs = _mm256_set1_ps(rs);
+  j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 xhat =
+        _mm256_mul_ps(_mm256_sub_ps(_mm256_loadu_ps(x + j), vmu), vrs);
+    _mm256_storeu_ps(out + j,
+                     _mm256_fmadd_ps(_mm256_loadu_ps(gamma + j), xhat,
+                                     _mm256_loadu_ps(beta + j)));
+  }
+  for (; j < n; ++j) {
+    out[j] = gamma[j] * (x[j] - mu) * rs + beta[j];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Int8 GEMM: u8 activations x s8 weights, maddubs pairs -> madd(1) i32
+// lanes -> i32 accumulators. Exact (no saturation) because activations
+// obey the u7 contract: |pair sum| <= 2 * 127 * 127 < 2^15.
+
+void GemmInt8NTAvx2(int m, int n, int k, const uint8_t* a, int lda,
+                    const int8_t* b, int ldb, int32_t* c, int ldc) {
+  const __m256i ones = _mm256_set1_epi16(1);
+  for (int i = 0; i < m; ++i) {
+    const uint8_t* arow = a + static_cast<int64_t>(i) * lda;
+    int32_t* crow = c + static_cast<int64_t>(i) * ldc;
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const int8_t* b0 = b + static_cast<int64_t>(j) * ldb;
+      const int8_t* b1 = b0 + ldb;
+      const int8_t* b2 = b1 + ldb;
+      const int8_t* b3 = b2 + ldb;
+      __m256i acc0 = _mm256_setzero_si256();
+      __m256i acc1 = _mm256_setzero_si256();
+      __m256i acc2 = _mm256_setzero_si256();
+      __m256i acc3 = _mm256_setzero_si256();
+      int p = 0;
+      for (; p + 32 <= k; p += 32) {
+        const __m256i av = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(arow + p));
+        acc0 = _mm256_add_epi32(
+            acc0, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(
+                          av, _mm256_loadu_si256(
+                                  reinterpret_cast<const __m256i*>(b0 + p))),
+                      ones));
+        acc1 = _mm256_add_epi32(
+            acc1, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(
+                          av, _mm256_loadu_si256(
+                                  reinterpret_cast<const __m256i*>(b1 + p))),
+                      ones));
+        acc2 = _mm256_add_epi32(
+            acc2, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(
+                          av, _mm256_loadu_si256(
+                                  reinterpret_cast<const __m256i*>(b2 + p))),
+                      ones));
+        acc3 = _mm256_add_epi32(
+            acc3, _mm256_madd_epi16(
+                      _mm256_maddubs_epi16(
+                          av, _mm256_loadu_si256(
+                                  reinterpret_cast<const __m256i*>(b3 + p))),
+                      ones));
+      }
+      int32_t t0 = HSumI32(acc0);
+      int32_t t1 = HSumI32(acc1);
+      int32_t t2 = HSumI32(acc2);
+      int32_t t3 = HSumI32(acc3);
+      for (; p < k; ++p) {
+        const int32_t av = arow[p];
+        t0 += av * b0[p];
+        t1 += av * b1[p];
+        t2 += av * b2[p];
+        t3 += av * b3[p];
+      }
+      crow[j] = t0;
+      crow[j + 1] = t1;
+      crow[j + 2] = t2;
+      crow[j + 3] = t3;
+    }
+    for (; j < n; ++j) {
+      const int8_t* bj = b + static_cast<int64_t>(j) * ldb;
+      __m256i acc = _mm256_setzero_si256();
+      int p = 0;
+      for (; p + 32 <= k; p += 32) {
+        acc = _mm256_add_epi32(
+            acc, _mm256_madd_epi16(
+                     _mm256_maddubs_epi16(
+                         _mm256_loadu_si256(
+                             reinterpret_cast<const __m256i*>(arow + p)),
+                         _mm256_loadu_si256(
+                             reinterpret_cast<const __m256i*>(bj + p))),
+                     ones));
+      }
+      int32_t t = HSumI32(acc);
+      for (; p < k; ++p) t += static_cast<int32_t>(arow[p]) * bj[p];
+      crow[j] = t;
+    }
+  }
+}
+
+}  // namespace
+
+const KernelTable& Avx2Table() {
+  static const KernelTable table = {
+      KernelVariant::kAvx2, GemmNNChunkAvx2, GemmNTChunkAvx2,
+      GemmTNChunkAvx2,      GemmTTChunkAvx2, GemmStridedAvx2,
+      ExpRowSumAvx2,        SumExpRowAvx2,   RowMaxAvx2,
+      LayerNormRowAvx2,     GemmInt8NTAvx2,
+  };
+  return table;
+}
+
+}  // namespace promptem::tensor::kernels::detail
+
+#endif  // PROMPTEM_HAVE_AVX2

@@ -1,0 +1,80 @@
+#ifndef PROMPTEM_TENSOR_KERNELS_INTERNAL_H_
+#define PROMPTEM_TENSOR_KERNELS_INTERNAL_H_
+
+// Variant dispatch table shared by kernels.cc (scalar reference
+// implementations + dispatch) and kernels_avx2.cc (the AVX2/FMA
+// translation unit, compiled with -mavx2 -mfma when the toolchain
+// supports it). Not installed with the public headers: everything here
+// is an implementation detail of tensor/kernels.cc.
+//
+// Each entry is one *chunk* or *row* primitive. The parallel
+// decomposition (ParallelFor grains, k-panel grouping) lives in the
+// dispatching wrappers and is identical for every variant, so results
+// are bitwise deterministic at any pool size *within* a variant; the
+// two variants differ from each other only by documented floating-point
+// tolerance (FMA contraction and 8-lane reduction trees).
+
+#include <cstdint>
+
+#include "tensor/kernels.h"
+
+namespace promptem::tensor::kernels::detail {
+
+struct KernelTable {
+  KernelVariant variant;
+
+  /// C[i0:i1, :] += alpha * A[i0:i1, :] * B, row-major A (m x k), B (k x n).
+  void (*gemm_nn_chunk)(int i0, int i1, int n, int k, float alpha,
+                        const float* a, const float* b, float* c);
+  /// C[i0:i1, :] += alpha * A[i0:i1, :] * B^T, B stored (n x k).
+  void (*gemm_nt_chunk)(int i0, int i1, int n, int k, float alpha,
+                        const float* a, const float* b, float* c);
+  /// C[i0:i1, :] += alpha * A^T[i0:i1, :] * B, A stored (k x m).
+  void (*gemm_tn_chunk)(int i0, int i1, int n, int k, int m, float alpha,
+                        const float* a, const float* b, float* c);
+  /// C[i0:i1, :] += alpha * A^T * B^T, A (k x m), B (n x k).
+  void (*gemm_tt_chunk)(int i0, int i1, int n, int k, int m, float alpha,
+                        const float* a, const float* b, float* c);
+
+  /// Strided single-thread GEMM over views (all four transpose cases);
+  /// beta scaling is applied by the caller.
+  void (*gemm_strided)(bool trans_a, bool trans_b, int m, int n, int k,
+                       float alpha, const float* a, int lda, const float* b,
+                       int ldb, float* c, int ldc);
+
+  /// out[j] = exp(x[j] - m) for j in [0, n); returns sum_j out[j].
+  /// x and out may alias elementwise.
+  float (*exp_row_sum)(const float* x, float* out, int n, float m);
+  /// Returns sum_j exp(x[j] - m) without writing.
+  float (*sum_exp_row)(const float* x, int n, float m);
+  /// max_j x[j] (n >= 1).
+  float (*row_max)(const float* x, int n);
+  /// One layer-norm row: out = gamma * (x - mu) * rstd + beta, writing the
+  /// row's mean and reciprocal std.
+  void (*layernorm_row)(const float* x, int n, const float* gamma,
+                        const float* beta, float eps, float* out, float* mean,
+                        float* rstd);
+
+  /// C[i, j] (int32) = sum_p A[i, p] * B[j, p] for u8 A (m x k, row stride
+  /// lda) and s8 B (n x k, row stride ldb). Exact integer arithmetic:
+  /// every variant produces identical bits provided A values stay in
+  /// [0, 127] (the u7 activation contract, which keeps the AVX2
+  /// maddubs pair-sums inside int16 range).
+  void (*gemm_int8_nt)(int m, int n, int k, const uint8_t* a, int lda,
+                       const int8_t* b, int ldb, int32_t* c, int ldc);
+};
+
+/// The portable reference table (always available).
+const KernelTable& ScalarTable();
+
+#ifdef PROMPTEM_HAVE_AVX2
+/// The AVX2/FMA table; only safe to call into when CpuSupportsAvx2().
+const KernelTable& Avx2Table();
+#endif
+
+/// The table every kernel wrapper dispatches through.
+const KernelTable& Active();
+
+}  // namespace promptem::tensor::kernels::detail
+
+#endif  // PROMPTEM_TENSOR_KERNELS_INTERNAL_H_

@@ -1,0 +1,171 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "tensor/autograd.h"
+#include "tensor/kernels.h"
+
+namespace promptem::tensor::quant {
+
+namespace {
+
+std::atomic<int> g_eval_quant_mode{static_cast<int>(EvalQuantMode::kF32)};
+std::atomic<uint64_t> g_quant_generation{1};
+
+/// round-half-up in float; keeps the scalar and any future vector
+/// quantizer in agreement (rint's banker's rounding would not).
+inline int32_t RoundHalfUp(float v) {
+  return static_cast<int32_t>(std::floor(v + 0.5f));
+}
+
+}  // namespace
+
+QuantizedWeight QuantizeWeightPerChannel(const float* w, int rows, int cols) {
+  QuantizedWeight qw;
+  qw.rows = rows;
+  qw.cols = cols;
+  qw.data.resize(static_cast<size_t>(rows) * cols);
+  qw.scales.resize(rows);
+  qw.row_sums.resize(rows);
+  for (int o = 0; o < rows; ++o) {
+    const float* row = w + static_cast<int64_t>(o) * cols;
+    float amax = 0.0f;
+    for (int p = 0; p < cols; ++p) amax = std::max(amax, std::fabs(row[p]));
+    int8_t* qrow = qw.data.data() + static_cast<int64_t>(o) * cols;
+    if (amax == 0.0f) {
+      qw.scales[o] = 1.0f;
+      std::fill(qrow, qrow + cols, static_cast<int8_t>(0));
+      qw.row_sums[o] = 0;
+      continue;
+    }
+    const float scale = amax / 127.0f;
+    const float inv = 127.0f / amax;
+    int32_t sum = 0;
+    for (int p = 0; p < cols; ++p) {
+      int32_t q = RoundHalfUp(row[p] * inv);
+      q = std::clamp(q, -127, 127);
+      qrow[p] = static_cast<int8_t>(q);
+      sum += q;
+    }
+    qw.scales[o] = scale;
+    qw.row_sums[o] = sum;
+  }
+  return qw;
+}
+
+void QuantizeRowU7(const float* x, int n, uint8_t* q, float* scale,
+                   int32_t* zero) {
+  float mn = x[0];
+  float mx = x[0];
+  for (int j = 1; j < n; ++j) {
+    mn = std::min(mn, x[j]);
+    mx = std::max(mx, x[j]);
+  }
+  if (mx == mn) {
+    // Constant row: pick (s, z, q) with s * (q - z) == v exactly.
+    const float v = mn;
+    float s;
+    int32_t z, code;
+    if (v == 0.0f) {
+      s = 1.0f;
+      z = 0;
+      code = 0;
+    } else if (v > 0.0f) {
+      s = v;
+      z = 0;
+      code = 1;
+    } else {
+      s = -v;
+      z = 1;
+      code = 0;
+    }
+    *scale = s;
+    *zero = z;
+    std::fill(q, q + n, static_cast<uint8_t>(code));
+    return;
+  }
+  // Asymmetric quantization needs a representable zero: widen the range
+  // to include 0 so the zero-point lands inside [0, 127]. Without this,
+  // an all-negative row would clamp z at 127 and saturate every code,
+  // collapsing the row's dynamic range.
+  mn = std::min(mn, 0.0f);
+  mx = std::max(mx, 0.0f);
+  const float s = (mx - mn) / 127.0f;
+  const float inv = 127.0f / (mx - mn);
+  const int32_t z = std::clamp(RoundHalfUp(-mn * inv), 0, 127);
+  for (int j = 0; j < n; ++j) {
+    const int32_t code = std::clamp(RoundHalfUp(x[j] * inv) + z, 0, 127);
+    q[j] = static_cast<uint8_t>(code);
+  }
+  *scale = s;
+  *zero = z;
+}
+
+void Int8LinearForward(const float* x, int m, int k,
+                       const QuantizedWeight& qw, const float* bias,
+                       float* y) {
+  const int n = qw.rows;
+  thread_local std::vector<uint8_t> qx;
+  thread_local std::vector<int32_t> acc;
+  thread_local std::vector<float> sx;
+  thread_local std::vector<int32_t> zx;
+  qx.resize(static_cast<size_t>(m) * k);
+  acc.resize(static_cast<size_t>(m) * n);
+  sx.resize(m);
+  zx.resize(m);
+  for (int i = 0; i < m; ++i) {
+    QuantizeRowU7(x + static_cast<int64_t>(i) * k, k,
+                  qx.data() + static_cast<int64_t>(i) * k, &sx[i], &zx[i]);
+  }
+  kernels::GemmInt8NT(m, n, k, qx.data(), k, qw.data.data(), k, acc.data(),
+                      n);
+  for (int i = 0; i < m; ++i) {
+    const float si = sx[i];
+    const int32_t zi = zx[i];
+    const int32_t* arow = acc.data() + static_cast<int64_t>(i) * n;
+    float* yrow = y + static_cast<int64_t>(i) * n;
+    for (int o = 0; o < n; ++o) {
+      const float deq = si * qw.scales[o] *
+                        static_cast<float>(arow[o] - zi * qw.row_sums[o]);
+      yrow[o] = bias != nullptr ? deq + bias[o] : deq;
+    }
+  }
+}
+
+void SetEvalQuantMode(EvalQuantMode mode) {
+  g_eval_quant_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+EvalQuantMode GetEvalQuantMode() {
+  return static_cast<EvalQuantMode>(
+      g_eval_quant_mode.load(std::memory_order_relaxed));
+}
+
+bool Int8EvalActive() {
+  return GetEvalQuantMode() == EvalQuantMode::kInt8 && !GradEnabled();
+}
+
+uint64_t QuantGeneration() {
+  return g_quant_generation.load(std::memory_order_acquire);
+}
+
+void BumpQuantGeneration() {
+  g_quant_generation.fetch_add(1, std::memory_order_acq_rel);
+}
+
+const QuantizedWeight& QuantizedWeightCache::Get(const float* w, int rows,
+                                                 int cols) {
+  const uint64_t gen = QuantGeneration();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!valid_ || generation_ != gen || cached_.rows != rows ||
+      cached_.cols != cols) {
+    cached_ = QuantizeWeightPerChannel(w, rows, cols);
+    generation_ = gen;
+    valid_ = true;
+  }
+  return cached_;
+}
+
+}  // namespace promptem::tensor::quant

@@ -1,0 +1,107 @@
+#ifndef PROMPTEM_TENSOR_QUANT_H_
+#define PROMPTEM_TENSOR_QUANT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace promptem::tensor::quant {
+
+/// Quantization scheme (the "dynamic quantization" trade: weights are
+/// quantized once, activations per row at call time, accumulation in
+/// int32, dequantization back to f32 before bias/activation):
+///
+///   Weights  — per-output-channel symmetric s8: for output channel o,
+///              so = max_p |W[o, p]| / 127, q[o, p] = round(W[o, p] / so)
+///              in [-127, 127]. Symmetric means no weight zero-point.
+///   Activations — per-row asymmetric *u7* over the row's range widened
+///              to include zero (lo = min(0, min x), hi = max(0, max x) —
+///              zero must be representable or the zero-point clamps and
+///              skews every code): sx = (hi - lo) / 127,
+///              zx = round(-lo / sx) in [0, 127],
+///              q = clamp(round(x / sx) + zx, 0, 127).
+///              7 bits is deliberate: with u7 activations the AVX2
+///              maddubs pair-sums are bounded by 2 * 127 * 127 < 2^15,
+///              so the int16 stage never saturates and the int8 GEMM is
+///              exact integer arithmetic — scalar and AVX2 agree bitwise.
+///   Dequant  — y[m, o] = sx_m * so * (acc[m, o] - zx_m * row_sums[o])
+///              + bias[o], where row_sums[o] = sum_p q[o, p] folds the
+///              activation zero-point out of the integer product.
+///
+/// The f32 accuracy loss this trades away is bounded by the quantized
+/// ScoreBatch F1-parity test (<= 0.5 F1 points on every benchmark).
+
+/// A weight matrix [rows, cols] (Linear stores W as [out, in]) quantized
+/// per output channel.
+struct QuantizedWeight {
+  int rows = 0;
+  int cols = 0;
+  std::vector<int8_t> data;     // [rows, cols], row-major
+  std::vector<float> scales;    // [rows], so per output channel
+  std::vector<int32_t> row_sums;  // [rows], sum_p data[o, p]
+};
+
+/// Quantize w ([rows, cols], row-major) per output channel (per row).
+/// An all-zero channel gets scale 1 and zero codes (dequantizes to 0).
+QuantizedWeight QuantizeWeightPerChannel(const float* w, int rows, int cols);
+
+/// Quantize one activation row to u7: q in [0, 127] with
+/// x[j] ~ scale * (q[j] - zero). A constant row (max == min) encodes the
+/// value exactly: scale * (q - zero) == v with q, zero in range.
+void QuantizeRowU7(const float* x, int n, uint8_t* q, float* scale,
+                   int32_t* zero);
+
+/// y = dequant(quant_u7(x) @ qw^T) + bias for x [m, k] row-major,
+/// qw [n, k] (n = out features), y [m, n]. bias may be null. Runs on the
+/// calling thread (callers parallelize over examples); uses thread-local
+/// scratch, so it is safe inside a ParallelFor chunk. Output depends only
+/// on the inputs — the int8 GEMM is exact in every kernel variant, so
+/// the whole path is bitwise deterministic at any pool size *and* across
+/// variants.
+void Int8LinearForward(const float* x, int m, int k,
+                       const QuantizedWeight& qw, const float* bias,
+                       float* y);
+
+/// Process-wide evaluation quantization mode, set from the CLI
+/// (--quantize int8) or tests. Training always runs f32; the mode only
+/// affects graph-free eval passes (see Int8EvalActive).
+enum class EvalQuantMode { kF32 = 0, kInt8 = 1 };
+
+void SetEvalQuantMode(EvalQuantMode mode);
+EvalQuantMode GetEvalQuantMode();
+
+/// True when this call site should take the int8 path: int8 mode is on
+/// AND autograd is off on this thread (a NoGradGuard is alive — i.e. a
+/// graph-free eval pass, not training and not a stochastic MC-dropout
+/// pass, which runs with training-mode dropout and grad-tracking
+/// semantics).
+bool Int8EvalActive();
+
+/// Generation counter for quantized-weight caches. Any code that mutates
+/// parameters while int8 mode is enabled (optimizer steps between eval
+/// sweeps, checkpoint loads) bumps it; caches rebuild lazily on the next
+/// quantized forward that observes a stale generation.
+uint64_t QuantGeneration();
+void BumpQuantGeneration();
+
+/// Per-layer cache of a quantized weight, rebuilt when the global
+/// generation moves. Thread-safe: eval sweeps shard examples across the
+/// pool and every worker hits the same layer's cache.
+class QuantizedWeightCache {
+ public:
+  /// Returns the cached quantization of w ([rows, cols]), rebuilding it
+  /// if absent or stale. The reference stays valid until the next Get
+  /// with a newer generation (callers hold it only for one forward; the
+  /// scoring engine bumps the generation between, not during, sweeps).
+  const QuantizedWeight& Get(const float* w, int rows, int cols);
+
+ private:
+  std::mutex mu_;
+  QuantizedWeight cached_;
+  uint64_t generation_ = 0;
+  bool valid_ = false;
+};
+
+}  // namespace promptem::tensor::quant
+
+#endif  // PROMPTEM_TENSOR_QUANT_H_

@@ -23,7 +23,6 @@
 // regions, so results are bitwise identical for any PROMPTEM_NUM_THREADS.
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <functional>
@@ -48,43 +47,6 @@ namespace {
 /// configuration the library runs.
 constexpr int kSdpaRowTile = 32;
 constexpr int kSdpaKeyTile = 64;
-
-/// In-place srow[j] = exp(srow[j] - m) over one score-tile row, via a
-/// Cephes-style polynomial expf: round to the nearest multiple of ln 2,
-/// degree-5 minimax polynomial on the remainder, scale by 2^e through the
-/// exponent bits. Relative error is ~1.2e-7 — far inside the
-/// fused-vs-unfused parity budget — and unlike a libm call both loops
-/// auto-vectorize (the clamp lives in its own pass because gcc refuses to
-/// if-convert a float select feeding the float->int round).
-///
-/// Arguments are always <= 0; inputs below -80 (exp < 2e-35) clamp so the
-/// 2^e bit trick stays in range, and NaN propagates to NaN through the
-/// polynomial.
-inline void ExpRowInPlace(float* srow, int n, float m) {
-  for (int j = 0; j < n; ++j) {
-    const float x = srow[j] - m;
-    srow[j] = x < -80.0f ? -80.0f : x;
-  }
-  for (int j = 0; j < n; ++j) {
-    const float x = srow[j];
-    // e = round(x * log2 e). The +127.5 bias makes the truncating
-    // float->int convert (one SSE2 lane op, unlike std::floor) a correct
-    // floor(y + 0.5) for the always-negative argument.
-    const int e = static_cast<int>(x * 1.44269504089f + 127.5f) - 127;
-    const float z = static_cast<float>(e);
-    // Two-step Cody-Waite reduction keeps the remainder exact in float.
-    float r = x - z * 0.693359375f;
-    r -= z * -2.12194440e-4f;
-    float p = 1.9875691500e-4f;
-    p = p * r + 1.3981999507e-3f;
-    p = p * r + 8.3334519073e-3f;
-    p = p * r + 4.1665795894e-2f;
-    p = p * r + 1.6666665459e-1f;
-    p = p * r + 5.0000001201e-1f;
-    p = p * r * r + r + 1.0f;
-    srow[j] = p * std::bit_cast<float>(static_cast<uint32_t>(e + 127) << 23);
-  }
-}
 
 /// Mirror of ops.cc's graph-node helper (that one is file-local).
 void AttachNode(Tensor* out, std::vector<Tensor> parents,
@@ -146,19 +108,10 @@ void SdpaForwardTile(const ConstMatView& qh, const float* kt_h,
         }
         mvec[r] = tile_max;
       }
-      ExpRowInPlace(srow, jn, mvec[r]);
-      // Four accumulation lanes so the (deterministic, fixed-order) sum
-      // is not one serial dependency chain.
-      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-      int j = 0;
-      for (; j + 4 <= jn; j += 4) {
-        s0 += srow[j];
-        s1 += srow[j + 1];
-        s2 += srow[j + 2];
-        s3 += srow[j + 3];
-      }
-      for (; j < jn; ++j) s0 += srow[j];
-      lvec[r] += (s0 + s1) + (s2 + s3);
+      // Exponentiate the tile row in place and fold its mass into the
+      // running denominator (the one shared fast-expf; see FastExpf in
+      // tensor/kernels.h for the error budget).
+      lvec[r] += kernels::ExpRowSum(srow, srow, jn, mvec[r]);
       if (crow != nullptr) {
         for (int j = 0; j < jn; ++j) crow[j0 + j] = srow[j];
       }

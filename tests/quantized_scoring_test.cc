@@ -1,0 +1,207 @@
+// End-to-end parity for the int8 dynamically-quantized eval path: on
+// every built-in benchmark, ScoreBatch in int8 mode must reproduce the
+// f32 path's F1 within 0.5 points (the ISSUE acceptance bound) and keep
+// per-pair probabilities close. Also pins the gating rules: training
+// forwards and MC-dropout passes never take the quantized kernel, and
+// the int8 path itself is bitwise deterministic at any pool size.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/thread_pool.h"
+#include "data/benchmarks.h"
+#include "lm/pretrained_lm.h"
+#include "promptem/encoding.h"
+#include "promptem/finetune_model.h"
+#include "promptem/promptem.h"
+#include "promptem/scoring.h"
+#include "promptem/trainer.h"
+#include "tensor/quant.h"
+
+namespace promptem {
+namespace {
+
+using em::EncodedPair;
+using em::ProbPair;
+
+/// RAII: int8 eval mode for the scope, restoring f32 after.
+class ScopedInt8Eval {
+ public:
+  ScopedInt8Eval() {
+    em::SetEvalQuantization(tensor::quant::EvalQuantMode::kInt8);
+  }
+  ~ScopedInt8Eval() {
+    em::SetEvalQuantization(tensor::quant::EvalQuantMode::kF32);
+  }
+};
+
+const lm::PretrainedLM& FixtureLM() {
+  static const lm::PretrainedLM* kLm = [] {
+    auto loaded =
+        lm::PretrainedLM::Load("tests/data/promptem_integration_lm");
+    if (!loaded.ok()) {
+      std::fprintf(stderr,
+                   "fixture LM missing (%s); tests must run from the repo "
+                   "root\n",
+                   loaded.status().ToString().c_str());
+      std::abort();
+    }
+    return loaded.value().release();
+  }();
+  return *kLm;
+}
+
+double F1Of(const std::vector<int>& pred,
+            const std::vector<EncodedPair>& xs) {
+  int tp = 0, fp = 0, fn = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (pred[i] == 1 && xs[i].label == 1) ++tp;
+    if (pred[i] == 1 && xs[i].label == 0) ++fp;
+    if (pred[i] == 0 && xs[i].label == 1) ++fn;
+  }
+  if (tp == 0) return (fp == 0 && fn == 0) ? 1.0 : 0.0;
+  const double p = static_cast<double>(tp) / (tp + fp);
+  const double r = static_cast<double>(tp) / (tp + fn);
+  return 2.0 * p * r / (p + r);
+}
+
+/// A briefly trained classifier + the benchmark's encoded test pairs —
+/// enough structure that F1 parity is a meaningful bar (an untrained
+/// model's probabilities all sit at the decision boundary).
+struct TrainedOnBenchmark {
+  std::unique_ptr<em::FinetuneModel> model;
+  std::vector<EncodedPair> test;
+};
+
+TrainedOnBenchmark TrainOn(data::BenchmarkKind kind) {
+  data::BenchmarkGenOptions small;
+  small.size_scale = 0.3;
+  const data::GemDataset dataset = data::GenerateBenchmark(kind, 13, small);
+  core::Rng split_rng(77);
+  const data::LowResourceSplit split =
+      data::MakeLowResourceSplit(dataset, 0.5, &split_rng);
+  em::PairEncoder encoder = em::MakePairEncoder(FixtureLM(), dataset);
+
+  TrainedOnBenchmark out;
+  core::Rng model_rng(9);
+  out.model = std::make_unique<em::FinetuneModel>(FixtureLM(), &model_rng);
+  em::TrainOptions options;
+  options.epochs = 3;
+  options.seed = 17;
+  em::TrainClassifier(out.model.get(),
+                      encoder.EncodeAll(dataset, split.labeled),
+                      encoder.EncodeAll(dataset, split.valid), options);
+  out.test = encoder.EncodeAll(dataset, split.test);
+  return out;
+}
+
+TEST(QuantizedScoringTest, Int8F1WithinHalfPointOnEveryBenchmark) {
+  for (data::BenchmarkKind kind : data::AllBenchmarks()) {
+    const char* name = data::GetBenchmarkInfo(kind).name;
+    TrainedOnBenchmark tb = TrainOn(kind);
+    ASSERT_FALSE(tb.test.empty()) << name;
+
+    const std::vector<ProbPair> f32_probs =
+        em::ScoreBatch(tb.model.get(), tb.test);
+    std::vector<ProbPair> int8_probs;
+    {
+      ScopedInt8Eval int8;
+      int8_probs = em::ScoreBatch(tb.model.get(), tb.test);
+    }
+
+    const double f32_f1 = F1Of(em::LabelsFromProbs(f32_probs), tb.test);
+    const double int8_f1 = F1Of(em::LabelsFromProbs(int8_probs), tb.test);
+    // "0.5 F1 points" on the percent scale everyone reports.
+    EXPECT_LE(std::fabs(f32_f1 - int8_f1), 0.005 + 1e-12)
+        << name << ": f32 F1 " << f32_f1 << " vs int8 F1 " << int8_f1;
+
+    // The probabilities themselves stay close — the F1 match must come
+    // from genuinely similar scores, not offsetting label flips.
+    float worst = 0.0f;
+    for (size_t i = 0; i < f32_probs.size(); ++i) {
+      worst = std::max(worst, std::fabs(f32_probs[i][1] - int8_probs[i][1]));
+    }
+    EXPECT_LE(worst, 0.08f) << name << ": worst |dP(yes)| " << worst;
+  }
+}
+
+TEST(QuantizedScoringTest, Int8PathDeterministicAcrossPoolSizes) {
+  TrainedOnBenchmark tb = TrainOn(data::BenchmarkKind::kRelHeter);
+  ScopedInt8Eval int8;
+  std::vector<ProbPair> reference;
+  for (int threads : {1, 3}) {
+    core::SetNumThreads(threads);
+    const std::vector<ProbPair> probs =
+        em::ScoreBatch(tb.model.get(), tb.test);
+    if (reference.empty()) {
+      reference = probs;
+    } else {
+      ASSERT_EQ(probs.size(), reference.size());
+      for (size_t i = 0; i < probs.size(); ++i) {
+        EXPECT_EQ(probs[i][0], reference[i][0]) << "sample " << i;
+        EXPECT_EQ(probs[i][1], reference[i][1]) << "sample " << i;
+      }
+    }
+  }
+  core::SetNumThreads(0);
+}
+
+TEST(QuantizedScoringTest, Int8ActuallyChangesEvalNumbers) {
+  // Guards against the gate silently never engaging: the quantized
+  // forward is an approximation, so at least one pair's probabilities
+  // must differ from the f32 pass (exact equality would mean the int8
+  // branch never ran).
+  TrainedOnBenchmark tb = TrainOn(data::BenchmarkKind::kSemiHomo);
+  const std::vector<ProbPair> f32_probs =
+      em::ScoreBatch(tb.model.get(), tb.test);
+  std::vector<ProbPair> int8_probs;
+  {
+    ScopedInt8Eval int8;
+    int8_probs = em::ScoreBatch(tb.model.get(), tb.test);
+  }
+  bool any_diff = false;
+  for (size_t i = 0; i < f32_probs.size(); ++i) {
+    if (f32_probs[i][1] != int8_probs[i][1]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(QuantizedScoringTest, TrainingAndMcDropoutStayF32) {
+  // Int8EvalActive requires grad mode OFF: a training-style forward
+  // (grad enabled) is identical whether or not int8 mode is set.
+  TrainedOnBenchmark tb = TrainOn(data::BenchmarkKind::kRelHeter);
+  const EncodedPair& x = tb.test.front();
+
+  tb.model->AsModule()->Eval();
+  core::Rng r1(3);
+  const tensor::Tensor loss_f32 = tb.model->Loss(x, x.label, &r1);
+  float with_int8 = 0.0f;
+  {
+    ScopedInt8Eval int8;
+    core::Rng r2(3);
+    with_int8 = tb.model->Loss(x, x.label, &r2).at(0);
+  }
+  EXPECT_EQ(loss_f32.at(0), with_int8);
+
+  // MC-dropout passes run under ScopedTrainingMode; the module reports
+  // training(), so Linear::Forward skips the quantized branch and the
+  // stochastic estimates are unchanged by the int8 switch.
+  const std::vector<uint64_t> seeds = {11, 12, 13};
+  const std::vector<EncodedPair> xs(3, x);
+  const std::vector<ProbPair> plain =
+      em::ScoreBatchStochastic(tb.model.get(), xs, seeds);
+  std::vector<ProbPair> gated;
+  {
+    ScopedInt8Eval int8;
+    gated = em::ScoreBatchStochastic(tb.model.get(), xs, seeds);
+  }
+  for (size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i][0], gated[i][0]) << "pass " << i;
+    EXPECT_EQ(plain[i][1], gated[i][1]) << "pass " << i;
+  }
+}
+
+}  // namespace
+}  // namespace promptem

@@ -21,6 +21,7 @@
 #include "promptem/finetune_model.h"
 #include "promptem/promptem.h"
 #include "promptem/trainer.h"
+#include "tensor/kernels.h"
 
 namespace promptem::golden {
 
@@ -92,7 +93,13 @@ inline baselines::RunOptions GoldenRunOptions() {
 /// Recomputes every pinned learner. Kept deliberately on the public
 /// pre-refactor API surface (TrainClassifier, PromptEM, RunMethod) so the
 /// identical code compiles before and after the runtime refactor.
+///
+/// Pinned to the scalar kernel variant: bitwise determinism holds only
+/// *within* a variant, and the fixture must replay identically on AVX2
+/// hosts, pre-AVX2 hosts, and the PROMPTEM_FORCE_SCALAR=1 CI job.
 inline std::vector<GoldenRun> CaptureGoldenRuns() {
+  tensor::kernels::ScopedKernelVariant scalar(
+      tensor::kernels::KernelVariant::kScalar);
   std::vector<GoldenRun> runs;
 
   const lm::PretrainedLM& lm = GoldenLM();

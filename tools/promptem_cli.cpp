@@ -31,6 +31,8 @@
 #include "data/benchmarks.h"
 #include "data/io.h"
 #include "lm/pretrained_lm.h"
+#include "promptem/scoring.h"
+#include "tensor/kernels.h"
 #include "train/observer.h"
 #include "train/registry.h"
 
@@ -51,7 +53,29 @@ void PrintUsage() {
       "  --lm PREFIX     pre-trained LM cache prefix\n"
       "                  (default promptem_shared_lm)\n"
       "  --run-log PATH  append one JSON record per training epoch to PATH\n"
-      "  --export DIR    write the dataset to DIR and exit");
+      "  --quantize Q    eval-path quantization: none (default) or int8\n"
+      "                  (training always runs f32)\n"
+      "  --export DIR    write the dataset to DIR and exit\n"
+      "promptem_cli --kernel-info\n"
+      "  print detected ISA, active kernel variant, and quantization mode\n"
+      "  (PROMPTEM_FORCE_SCALAR=1 pins the portable kernels)");
+}
+
+/// The dispatch report the bench context stamps cross-check against:
+/// which GEMM path this process would actually run.
+void PrintKernelInfo() {
+  namespace kernels = tensor::kernels;
+  std::printf("cpu avx2+fma:    %s\n",
+              kernels::CpuSupportsAvx2() ? "yes" : "no");
+  std::printf("forced scalar:   %s (PROMPTEM_FORCE_SCALAR)\n",
+              kernels::ScalarForced() ? "yes" : "no");
+  std::printf("kernel variant:  %s\n",
+              kernels::KernelVariantName(kernels::ActiveKernelVariant()));
+  std::printf("eval quantize:   %s\n",
+              em::GetEvalQuantization() ==
+                      tensor::quant::EvalQuantMode::kInt8
+                  ? "int8"
+                  : "f32");
 }
 
 std::optional<data::BenchmarkKind> KindByName(const std::string& name) {
@@ -111,6 +135,7 @@ int main(int argc, char** argv) {
   std::string export_dir;
   std::string run_log_path;
   std::string custom_name = "custom";
+  std::string quantize = "none";
   double rate = -1.0;
   int labels = -1;
   uint64_t seed = 42;
@@ -135,6 +160,14 @@ int main(int argc, char** argv) {
         std::printf("  %s\n", name.c_str());
       }
       return 0;
+    } else if (arg == "--kernel-info") {
+      PrintKernelInfo();
+      return 0;
+    } else if (arg == "--quantize") {
+      quantize = next();
+      if (quantize != "none" && quantize != "int8") {
+        BadOption(arg, quantize.c_str(), "none or int8");
+      }
     } else if (arg == "--list-matchers") {
       for (const auto& name :
            train::MatcherRegistry::Instance().ListedNames()) {
@@ -246,11 +279,19 @@ int main(int argc, char** argv) {
           : data::MakeLowResourceSplit(
                 dataset, rate > 0.0 ? rate : dataset.default_rate, &rng);
 
+  if (quantize == "int8") {
+    em::SetEvalQuantization(tensor::quant::EvalQuantMode::kInt8);
+  }
+
   std::printf("%s on %s: %zu labeled / %zu unlabeled / %zu valid / %zu "
               "test pairs\n",
               matcher_name.c_str(), dataset.name.c_str(),
               split.labeled.size(), split.unlabeled.size(),
               split.valid.size(), split.test.size());
+  std::printf("kernels: %s, eval quantize: %s\n",
+              tensor::kernels::KernelVariantName(
+                  tensor::kernels::ActiveKernelVariant()),
+              quantize.c_str());
 
   train::MatcherContext ctx;
   ctx.lm = lm.get();
