@@ -4,30 +4,174 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <unordered_set>
 
+#include "core/status.h"
+#include "core/thread_pool.h"
 #include "data/serializer.h"
 #include "text/tokenizer.h"
 
 namespace promptem::data {
 
+namespace {
+
+/// Left records generated per streaming refill. Fixed (never derived from
+/// the pool size) so the candidate stream is bitwise independent of
+/// PROMPTEM_NUM_THREADS; large enough that one refill amortizes the
+/// ParallelFor dispatch over real per-record work.
+constexpr size_t kRefillBatch = 256;
+
+/// Per-left-record grain for the parallel generation sweeps.
+constexpr int64_t kLeftGrain = 16;
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t Fnv1a64(const char* data, size_t n, uint64_t hash = kFnvOffset) {
+  for (size_t i = 0; i < n; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// splitmix64 finalizer: cheap, well-mixed derivation of the i-th hash
+/// function from a shingle's base hash.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Blocker / LeftStreamBlocker
+// ---------------------------------------------------------------------------
+
+std::vector<PairExample> Blocker::Drain() {
+  std::vector<PairExample> all;
+  while (NextChunk(static_cast<size_t>(1) << 16, &all) > 0) {
+  }
+  return all;
+}
+
+size_t LeftStreamBlocker::NextChunk(size_t max_pairs,
+                                    std::vector<PairExample>* out) {
+  PROMPTEM_CHECK(out != nullptr);
+  size_t appended = 0;
+  while (appended < max_pairs) {
+    if (pending_pos_ == pending_.size()) {
+      if (next_left_ >= left_size()) break;
+      Refill();
+      continue;
+    }
+    const size_t take =
+        std::min(max_pairs - appended, pending_.size() - pending_pos_);
+    out->insert(out->end(), pending_.begin() + static_cast<ptrdiff_t>(pending_pos_),
+                pending_.begin() + static_cast<ptrdiff_t>(pending_pos_ + take));
+    pending_pos_ += take;
+    appended += take;
+  }
+  return appended;
+}
+
+void LeftStreamBlocker::Reset() {
+  next_left_ = 0;
+  pending_.clear();
+  pending_pos_ = 0;
+}
+
+void LeftStreamBlocker::Refill() {
+  const size_t batch = std::min(kRefillBatch, left_size() - next_left_);
+  std::vector<std::vector<PairExample>> per_left(batch);
+  const size_t base = next_left_;
+  // Per-left buffers merged in left order: the stream never depends on
+  // which lane generated which record.
+  core::ParallelFor(0, static_cast<int64_t>(batch), kLeftGrain,
+                    [&](int64_t begin, int64_t end) {
+                      for (int64_t b = begin; b < end; ++b) {
+                        CandidatesForLeft(static_cast<int>(base + static_cast<size_t>(b)),
+                                          &per_left[static_cast<size_t>(b)]);
+                      }
+                    });
+  pending_.clear();
+  pending_pos_ = 0;
+  for (const auto& buf : per_left) {
+    pending_.insert(pending_.end(), buf.begin(), buf.end());
+  }
+  next_left_ += batch;
+}
+
+// ---------------------------------------------------------------------------
+// AllPairsBlocker
+// ---------------------------------------------------------------------------
+
+size_t AllPairsBlocker::NextChunk(size_t max_pairs,
+                                  std::vector<PairExample>* out) {
+  PROMPTEM_CHECK(out != nullptr);
+  size_t appended = 0;
+  if (right_size_ == 0) return 0;
+  while (appended < max_pairs && next_left_ < left_size_) {
+    out->push_back({static_cast<int>(next_left_),
+                    static_cast<int>(next_right_), kUnlabeledLabel});
+    ++appended;
+    if (++next_right_ == right_size_) {
+      next_right_ = 0;
+      ++next_left_;
+    }
+  }
+  return appended;
+}
+
+// ---------------------------------------------------------------------------
+// OverlapBlocker
+// ---------------------------------------------------------------------------
+
 OverlapBlocker::OverlapBlocker(const std::vector<Record>& left_table,
-                               const std::vector<Record>& right_table) {
+                               const std::vector<Record>& right_table)
+    : OverlapBlocker(left_table, right_table, Config()) {}
+
+OverlapBlocker::OverlapBlocker(const std::vector<Record>& left_table,
+                               const std::vector<Record>& right_table,
+                               const Config& config)
+    : config_(config) {
+  // Tokenization (serialize + word-split) dominates index build, and is
+  // per-record independent: run it across the pool into per-record string
+  // lists, then assign token ids sequentially in record order so the id
+  // space (and everything derived from it) is pool-size invariant.
+  const size_t n_left = left_table.size();
+  const size_t n_right = right_table.size();
+  std::vector<std::vector<std::string>> words(n_left + n_right);
+  core::ParallelFor(0, static_cast<int64_t>(n_left + n_right), kLeftGrain,
+                    [&](int64_t begin, int64_t end) {
+                      for (int64_t i = begin; i < end; ++i) {
+                        const size_t idx = static_cast<size_t>(i);
+                        const Record& r = idx < n_left
+                                              ? left_table[idx]
+                                              : right_table[idx - n_left];
+                        words[idx] = text::WordTokenize(SerializeRecord(r));
+                      }
+                    });
+
   std::map<std::string, int> token_ids;
-  auto encode = [&](const Record& record) {
+  auto encode = [&](const std::vector<std::string>& toks) {
     std::vector<int> ids;
     std::set<int> seen;
-    for (const auto& tok :
-         text::WordTokenize(SerializeRecord(record))) {
+    for (const auto& tok : toks) {
       auto [it, inserted] =
           token_ids.emplace(tok, static_cast<int>(token_ids.size()));
       if (seen.insert(it->second).second) ids.push_back(it->second);
     }
     return ids;
   };
-  left_tokens_.reserve(left_table.size());
-  for (const auto& r : left_table) left_tokens_.push_back(encode(r));
-  right_tokens_.reserve(right_table.size());
-  for (const auto& r : right_table) right_tokens_.push_back(encode(r));
+  left_tokens_.reserve(n_left);
+  for (size_t i = 0; i < n_left; ++i) left_tokens_.push_back(encode(words[i]));
+  right_tokens_.reserve(n_right);
+  for (size_t j = 0; j < n_right; ++j) {
+    right_tokens_.push_back(encode(words[n_left + j]));
+  }
   num_tokens_ = static_cast<int>(token_ids.size());
 
   // Document frequencies over both tables.
@@ -66,51 +210,276 @@ double OverlapBlocker::PairScore(int left_index, int right_index) const {
   return score;
 }
 
-std::vector<PairExample> OverlapBlocker::GenerateCandidates(
-    const Config& config) const {
+void OverlapBlocker::CandidatesForLeftWithConfig(
+    int left_index, const Config& config,
+    std::vector<PairExample>* out) const {
   const double n_docs =
       static_cast<double>(left_tokens_.size() + right_tokens_.size());
   const size_t stop_threshold = static_cast<size_t>(
       std::max(1.0, config.max_token_frequency * n_docs));
 
+  // Sparse accumulation: only rights actually touched by a posting list
+  // are tracked, so one left record costs O(candidate postings), not
+  // O(right table) — the difference between 1M-row streaming and a dense
+  // per-left scan.
+  std::map<int, std::pair<double, int>> hits;  // right -> (score, shared)
+  for (int t : left_tokens_[static_cast<size_t>(left_index)]) {
+    const auto& postings = right_index_[static_cast<size_t>(t)];
+    if (postings.size() > stop_threshold) continue;  // stop token
+    for (int j : postings) {
+      auto& slot = hits[j];
+      slot.first += idf_[static_cast<size_t>(t)];
+      ++slot.second;
+    }
+  }
+  std::vector<int> order;
+  order.reserve(hits.size());
+  for (const auto& [j, slot] : hits) {
+    if (slot.second >= config.min_shared_tokens && slot.first > 0.0) {
+      order.push_back(j);
+    }
+  }
+  // `hits` iterates right-index ascending, so the stable sort reproduces
+  // the original dense scan's order exactly: score descending, right
+  // index ascending on ties.
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return hits.find(a)->second.first > hits.find(b)->second.first;
+  });
+  if (static_cast<int>(order.size()) > config.top_k) {
+    order.resize(static_cast<size_t>(config.top_k));
+  }
+  for (int j : order) {
+    out->push_back({left_index, j, kUnlabeledLabel});
+  }
+}
+
+void OverlapBlocker::CandidatesForLeft(int left_index,
+                                       std::vector<PairExample>* out) const {
+  CandidatesForLeftWithConfig(left_index, config_, out);
+}
+
+std::vector<PairExample> OverlapBlocker::GenerateCandidates(
+    const Config& config) const {
+  const size_t n_left = left_tokens_.size();
+  std::vector<std::vector<PairExample>> per_left(n_left);
+  core::ParallelFor(0, static_cast<int64_t>(n_left), kLeftGrain,
+                    [&](int64_t begin, int64_t end) {
+                      for (int64_t i = begin; i < end; ++i) {
+                        CandidatesForLeftWithConfig(
+                            static_cast<int>(i), config,
+                            &per_left[static_cast<size_t>(i)]);
+                      }
+                    });
   std::vector<PairExample> candidates;
-  std::vector<double> score(right_tokens_.size());
-  std::vector<int> shared(right_tokens_.size());
-  for (size_t i = 0; i < left_tokens_.size(); ++i) {
-    std::fill(score.begin(), score.end(), 0.0);
-    std::fill(shared.begin(), shared.end(), 0);
-    for (int t : left_tokens_[i]) {
-      const auto& postings = right_index_[static_cast<size_t>(t)];
-      if (postings.size() > stop_threshold) continue;  // stop token
-      for (int j : postings) {
-        score[static_cast<size_t>(j)] += idf_[static_cast<size_t>(t)];
-        ++shared[static_cast<size_t>(j)];
-      }
-    }
-    std::vector<int> order;
-    for (size_t j = 0; j < score.size(); ++j) {
-      if (shared[j] >= config.min_shared_tokens && score[j] > 0.0) {
-        order.push_back(static_cast<int>(j));
-      }
-    }
-    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-      return score[static_cast<size_t>(a)] > score[static_cast<size_t>(b)];
-    });
-    if (static_cast<int>(order.size()) > config.top_k) {
-      order.resize(static_cast<size_t>(config.top_k));
-    }
-    for (int j : order) {
-      candidates.push_back({static_cast<int>(i), j, 0});
-    }
+  for (const auto& buf : per_left) {
+    candidates.insert(candidates.end(), buf.begin(), buf.end());
   }
   return candidates;
 }
+
+// ---------------------------------------------------------------------------
+// MinHashBlocker
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The text a record is shingled over: attribute values only (plus the
+/// free text of textual records). The [COL]/[VAL] tags and attribute
+/// names of the full §2.2 serialization are shared by every record of a
+/// table — universal shingles that inflate the Jaccard similarity of
+/// *unrelated* pairs and waste bands on boilerplate buckets.
+std::string ShingleText(const Record& record) {
+  if (record.format == RecordFormat::kTextual) return record.text;
+  std::string out;
+  for (const auto& [attr, value] : record.attrs) {
+    out += SerializeValue(value);
+    out += ' ';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint64_t> MinHashBlocker::BandKeys(const Record& record) const {
+  const int hashes = config_.num_hashes;
+  const int bands = config_.num_bands;
+  const int rows = hashes / bands;
+  std::vector<uint64_t> sig(static_cast<size_t>(hashes), ~0ULL);
+
+  std::string text = ShingleText(record);
+  for (char& c : text) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  const size_t len = text.size();
+  const size_t k = static_cast<size_t>(config_.shingle_len);
+  const size_t n_shingles = len >= k ? len - k + 1 : (len > 0 ? 1 : 0);
+  for (size_t s = 0; s < n_shingles; ++s) {
+    const uint64_t base =
+        Fnv1a64(text.data() + s, std::min(k, len - s)) ^ config_.seed;
+    for (int h = 0; h < hashes; ++h) {
+      const uint64_t v = Mix64(base + 0x9E3779B97F4A7C15ULL *
+                                          static_cast<uint64_t>(h + 1));
+      if (v < sig[static_cast<size_t>(h)]) sig[static_cast<size_t>(h)] = v;
+    }
+  }
+
+  std::vector<uint64_t> keys(static_cast<size_t>(bands));
+  for (int b = 0; b < bands; ++b) {
+    uint64_t key = kFnvOffset ^ static_cast<uint64_t>(b);
+    for (int r = 0; r < rows; ++r) {
+      const uint64_t v = sig[static_cast<size_t>(b * rows + r)];
+      key = Fnv1a64(reinterpret_cast<const char*>(&v), sizeof(v), key);
+    }
+    keys[static_cast<size_t>(b)] = key;
+  }
+  return keys;
+}
+
+MinHashBlocker::MinHashBlocker(const std::vector<Record>& left_table,
+                               const std::vector<Record>& right_table)
+    : MinHashBlocker(left_table, right_table, Config()) {}
+
+MinHashBlocker::MinHashBlocker(const std::vector<Record>& left_table,
+                               const std::vector<Record>& right_table,
+                               const Config& config)
+    : config_(config), left_table_(&left_table) {
+  PROMPTEM_CHECK_MSG(config_.num_bands >= 1 &&
+                         config_.num_hashes % config_.num_bands == 0,
+                     "num_hashes must be a positive multiple of num_bands");
+  PROMPTEM_CHECK(config_.shingle_len >= 1);
+  right_size_ = right_table.size();
+  bucket_cap_ = std::clamp<size_t>(
+      static_cast<size_t>(config_.max_bucket_fraction *
+                          static_cast<double>(right_size_)),
+      16, std::max<size_t>(16, config_.max_bucket_cap));
+
+  const int bands = config_.num_bands;
+  // Right-side band keys, computed across the pool (per-record
+  // independent, so deterministic), stored as one flat band-major array...
+  std::vector<uint64_t> flat(static_cast<size_t>(bands) * right_size_);
+  core::ParallelFor(0, static_cast<int64_t>(right_size_), kLeftGrain,
+                    [&](int64_t begin, int64_t end) {
+                      for (int64_t j = begin; j < end; ++j) {
+                        const auto keys = BandKeys(right_table[static_cast<size_t>(j)]);
+                        for (int b = 0; b < bands; ++b) {
+                          flat[static_cast<size_t>(b) * right_size_ +
+                               static_cast<size_t>(j)] =
+                              keys[static_cast<size_t>(b)];
+                        }
+                      }
+                    });
+
+  // ...then sorted per band into (key, right) arrays probed with
+  // equal_range. Only band keys are retained — O(bands * right) memory,
+  // no per-record signatures — which is what lets the index fit at 1M
+  // rows. Bands are independent, so the sorts run across the pool too.
+  band_keys_.assign(static_cast<size_t>(bands), {});
+  band_rights_.assign(static_cast<size_t>(bands), {});
+  core::ParallelFor(0, bands, 1, [&](int64_t begin, int64_t end) {
+    for (int64_t b = begin; b < end; ++b) {
+      const uint64_t* keys = flat.data() + static_cast<size_t>(b) * right_size_;
+      std::vector<int32_t> order(right_size_);
+      for (size_t j = 0; j < right_size_; ++j) {
+        order[j] = static_cast<int32_t>(j);
+      }
+      std::sort(order.begin(), order.end(), [&](int32_t a, int32_t c) {
+        return keys[static_cast<size_t>(a)] != keys[static_cast<size_t>(c)]
+                   ? keys[static_cast<size_t>(a)] < keys[static_cast<size_t>(c)]
+                   : a < c;
+      });
+      auto& bk = band_keys_[static_cast<size_t>(b)];
+      auto& br = band_rights_[static_cast<size_t>(b)];
+      bk.resize(right_size_);
+      br.resize(right_size_);
+      for (size_t j = 0; j < right_size_; ++j) {
+        bk[j] = keys[static_cast<size_t>(order[j])];
+        br[j] = order[j];
+      }
+    }
+  });
+}
+
+void MinHashBlocker::CandidatesForLeft(int left_index,
+                                       std::vector<PairExample>* out) const {
+  const auto keys = BandKeys((*left_table_)[static_cast<size_t>(left_index)]);
+  std::vector<int32_t> hits;
+  for (int b = 0; b < config_.num_bands; ++b) {
+    const auto& bk = band_keys_[static_cast<size_t>(b)];
+    const auto& br = band_rights_[static_cast<size_t>(b)];
+    const auto range = std::equal_range(bk.begin(), bk.end(),
+                                        keys[static_cast<size_t>(b)]);
+    const size_t lo = static_cast<size_t>(range.first - bk.begin());
+    const size_t hi = static_cast<size_t>(range.second - bk.begin());
+    if (hi - lo > bucket_cap_) continue;  // boilerplate bucket, no signal
+    hits.insert(hits.end(), br.begin() + static_cast<ptrdiff_t>(lo),
+                br.begin() + static_cast<ptrdiff_t>(hi));
+  }
+  if (hits.empty()) return;
+  std::sort(hits.begin(), hits.end());
+
+  // Run-length the sorted hit list into (right, band-match count), rank
+  // by (count desc, right asc), keep top-k.
+  std::vector<std::pair<int32_t, int>> counted;
+  for (size_t i = 0; i < hits.size();) {
+    size_t j = i;
+    while (j < hits.size() && hits[j] == hits[i]) ++j;
+    const int count = static_cast<int>(j - i);
+    if (count >= config_.min_band_matches) {
+      counted.emplace_back(hits[i], count);
+    }
+    i = j;
+  }
+  std::stable_sort(counted.begin(), counted.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second != b.second ? a.second > b.second
+                                                 : a.first < b.first;
+                   });
+  if (static_cast<int>(counted.size()) > config_.top_k) {
+    counted.resize(static_cast<size_t>(config_.top_k));
+  }
+  for (const auto& [right, count] : counted) {
+    out->push_back({left_index, right, kUnlabeledLabel});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocking quality
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct PairHash {
+  size_t operator()(const std::pair<int, int>& p) const {
+    return static_cast<size_t>(
+        Mix64((static_cast<uint64_t>(static_cast<uint32_t>(p.first)) << 32) |
+              static_cast<uint32_t>(p.second)));
+  }
+};
+
+BlockingQuality QualityFromCounts(size_t kept, size_t total,
+                                  size_t num_candidates, size_t left_size,
+                                  size_t right_size) {
+  BlockingQuality quality;
+  quality.num_candidates = num_candidates;
+  quality.pair_completeness =
+      total == 0 ? 1.0 : static_cast<double>(kept) / static_cast<double>(total);
+  const double all_pairs =
+      static_cast<double>(left_size) * static_cast<double>(right_size);
+  quality.reduction_ratio =
+      all_pairs == 0.0
+          ? 0.0
+          : 1.0 - static_cast<double>(num_candidates) / all_pairs;
+  return quality;
+}
+
+}  // namespace
 
 BlockingQuality EvaluateBlocking(
     const std::vector<PairExample>& candidates,
     const std::vector<PairExample>& gold_matches, size_t left_size,
     size_t right_size) {
-  std::set<std::pair<int, int>> candidate_set;
+  std::unordered_set<std::pair<int, int>, PairHash> candidate_set;
+  candidate_set.reserve(candidates.size());
   for (const auto& c : candidates) {
     candidate_set.emplace(c.left_index, c.right_index);
   }
@@ -121,14 +490,37 @@ BlockingQuality EvaluateBlocking(
     ++total;
     kept += candidate_set.count({g.left_index, g.right_index});
   }
-  BlockingQuality quality;
-  quality.pair_completeness =
-      total == 0 ? 1.0 : static_cast<double>(kept) / total;
-  const double all_pairs =
-      static_cast<double>(left_size) * static_cast<double>(right_size);
-  quality.reduction_ratio =
-      all_pairs == 0.0 ? 0.0 : 1.0 - candidates.size() / all_pairs;
-  return quality;
+  return QualityFromCounts(kept, total, candidates.size(), left_size,
+                           right_size);
+}
+
+BlockingQuality EvaluateBlockingStream(
+    Blocker* blocker, const std::vector<PairExample>& gold_matches,
+    size_t chunk_size) {
+  PROMPTEM_CHECK(blocker != nullptr);
+  PROMPTEM_CHECK(chunk_size >= 1);
+  std::unordered_set<std::pair<int, int>, PairHash> gold_set;
+  for (const auto& g : gold_matches) {
+    if (g.label == 1) gold_set.emplace(g.left_index, g.right_index);
+  }
+  const size_t total = gold_set.size();
+
+  blocker->Reset();
+  size_t kept = 0;
+  size_t num_candidates = 0;
+  std::vector<PairExample> chunk;
+  chunk.reserve(chunk_size);
+  while (blocker->NextChunk(chunk_size, &chunk) > 0) {
+    num_candidates += chunk.size();
+    for (const auto& c : chunk) {
+      // erase() rather than count() so duplicate candidates (possible
+      // across blockers in principle) never double-count a gold match.
+      kept += gold_set.erase({c.left_index, c.right_index});
+    }
+    chunk.clear();
+  }
+  return QualityFromCounts(kept, total, num_candidates, blocker->left_size(),
+                           blocker->right_size());
 }
 
 }  // namespace promptem::data

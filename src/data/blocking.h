@@ -1,6 +1,7 @@
 #ifndef PROMPTEM_DATA_BLOCKING_H_
 #define PROMPTEM_DATA_BLOCKING_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "data/dataset.h"
@@ -13,10 +14,98 @@ namespace promptem::data {
 /// module supplies that substrate so the library covers the full
 /// workflow on user data.
 ///
-/// OverlapBlocker is a token-overlap blocker with IDF weighting: records
-/// sharing informative tokens become candidates, ranked by the summed
-/// IDF of their shared tokens, keeping the top-k rights per left record.
-class OverlapBlocker {
+/// Blocker is the streaming face of that substrate. Candidates are pulled
+/// in bounded chunks rather than materialized all at once, so the
+/// downstream chunked scorer (em::MatchPipeline) runs all-pairs-scale
+/// tables in memory bounded by the chunk size, not the candidate count.
+///
+/// Contract:
+///  - NextChunk appends at most `max_pairs` candidates and returns the
+///    number appended; 0 means the stream is exhausted.
+///  - Every emitted pair carries label == kUnlabeledLabel (the blocker
+///    proposes; it never labels).
+///  - The candidate sequence is deterministic: the concatenation of all
+///    chunks is a fixed function of the construction inputs, independent
+///    of chunk sizes and of PROMPTEM_NUM_THREADS. Downstream scoring
+///    order (and thus any order-sensitive reduction) is therefore bitwise
+///    reproducible.
+///  - Reset rewinds the stream to the beginning.
+class Blocker {
+ public:
+  virtual ~Blocker() = default;
+
+  virtual const char* Name() const = 0;
+  virtual size_t left_size() const = 0;
+  virtual size_t right_size() const = 0;
+
+  /// Appends up to `max_pairs` next candidates to *out (which is not
+  /// cleared). Returns the count appended; 0 = exhausted.
+  virtual size_t NextChunk(size_t max_pairs, std::vector<PairExample>* out) = 0;
+
+  /// Rewinds the stream to its first candidate.
+  virtual void Reset() = 0;
+
+  /// Drains the remaining stream into one vector (tests, small tables,
+  /// the blocking-quality report). Defeats the bounded-memory point at
+  /// million-record scale — production paths should chunk instead.
+  std::vector<PairExample> Drain();
+};
+
+/// Shared skeleton for blockers that generate candidates one left record
+/// at a time (overlap, MinHash): NextChunk refills an internal buffer by
+/// running CandidatesForLeft over a fixed-size batch of left records on
+/// the thread pool. The batch size and the per-left output order are
+/// fixed, and per-left buffers are concatenated in left order, so the
+/// stream is bitwise independent of the pool size.
+class LeftStreamBlocker : public Blocker {
+ public:
+  size_t NextChunk(size_t max_pairs, std::vector<PairExample>* out) final;
+  void Reset() override;
+
+ protected:
+  /// Appends the candidates of one left record in the blocker's
+  /// deterministic per-left order. Must be safe to call concurrently for
+  /// distinct left indices.
+  virtual void CandidatesForLeft(int left_index,
+                                 std::vector<PairExample>* out) const = 0;
+
+ private:
+  void Refill();
+
+  size_t next_left_ = 0;     // first left record not yet generated
+  std::vector<PairExample> pending_;
+  size_t pending_pos_ = 0;
+};
+
+/// The no-blocking reference: streams every (left, right) pair in
+/// row-major order without ever materializing the cross product. Gives
+/// the quadratic candidate-count baseline the benches compare against,
+/// and turns the pipeline into an exhaustive matcher on small tables.
+class AllPairsBlocker : public Blocker {
+ public:
+  AllPairsBlocker(size_t left_size, size_t right_size)
+      : left_size_(left_size), right_size_(right_size) {}
+
+  const char* Name() const override { return "allpairs"; }
+  size_t left_size() const override { return left_size_; }
+  size_t right_size() const override { return right_size_; }
+  size_t NextChunk(size_t max_pairs, std::vector<PairExample>* out) override;
+  void Reset() override { next_left_ = 0; next_right_ = 0; }
+
+ private:
+  size_t left_size_;
+  size_t right_size_;
+  size_t next_left_ = 0;
+  size_t next_right_ = 0;
+};
+
+/// Token-overlap blocker with IDF weighting: records sharing informative
+/// tokens become candidates, ranked by the summed IDF of their shared
+/// tokens, keeping the top-k rights per left record. Index construction
+/// (tokenization) and candidate generation are parallelized over records
+/// via core::ParallelFor; token ids, IDF, and the candidate stream are
+/// bitwise independent of the pool size.
+class OverlapBlocker : public LeftStreamBlocker {
  public:
   struct Config {
     int top_k = 10;            ///< candidates kept per left record
@@ -27,15 +116,34 @@ class OverlapBlocker {
   };
 
   OverlapBlocker(const std::vector<Record>& left_table,
+                 const std::vector<Record>& right_table,
+                 const Config& config);
+  /// Default configuration (defined out of line: nested-class member
+  /// initializers are unusable in default arguments here).
+  OverlapBlocker(const std::vector<Record>& left_table,
                  const std::vector<Record>& right_table);
 
-  /// Generates candidate pairs (labels set to 0; the matcher decides).
+  const char* Name() const override { return "overlap"; }
+  size_t left_size() const override { return left_tokens_.size(); }
+  size_t right_size() const override { return right_tokens_.size(); }
+
+  /// Generates every candidate at once (the pre-streaming API, kept for
+  /// small tables and tests); parallel over left records, output in left
+  /// order. Equivalent to Reset + Drain with `config`.
   std::vector<PairExample> GenerateCandidates(const Config& config) const;
 
   /// Blocking score of one pair: summed IDF of shared tokens.
   double PairScore(int left_index, int right_index) const;
 
+ protected:
+  void CandidatesForLeft(int left_index,
+                         std::vector<PairExample>* out) const override;
+
  private:
+  void CandidatesForLeftWithConfig(int left_index, const Config& config,
+                                   std::vector<PairExample>* out) const;
+
+  Config config_;
   std::vector<std::vector<int>> left_tokens_;   // token ids per record
   std::vector<std::vector<int>> right_tokens_;  // token ids per record
   std::vector<std::vector<int>> right_index_;   // token id -> right records
@@ -43,11 +151,74 @@ class OverlapBlocker {
   int num_tokens_ = 0;
 };
 
+/// MinHash-LSH blocker: each record's serialization is shingled into
+/// character n-grams, min-hashed into a fixed-length signature, and the
+/// signature split into bands; records sharing any band key become
+/// candidates. Banding makes the candidate probability a steep function
+/// of Jaccard similarity, so candidate counts stay near-linear in the
+/// table size while near-duplicates are retained with high probability.
+///
+/// Per left record, bucket hits are ranked by the number of matching
+/// bands (ties broken by right index) and the top-k kept — the same
+/// shape OverlapBlocker emits. Signature computation runs over
+/// core::ParallelFor; only per-band keys are stored (sorted key -> right
+/// arrays), so the index is O(num_bands * right) with no per-record
+/// signature retained.
+class MinHashBlocker : public LeftStreamBlocker {
+ public:
+  struct Config {
+    int num_hashes = 32;   ///< signature length = num_bands * rows/band
+    int num_bands = 16;    ///< bands of num_hashes / num_bands rows each
+    int shingle_len = 4;   ///< character shingle length (lowercased)
+    int top_k = 10;        ///< candidates kept per left record
+    int min_band_matches = 1;  ///< require at least this many shared bands
+    /// Buckets holding more than this fraction of the right table carry
+    /// no blocking signal — think shared schema boilerplate — and are
+    /// skipped, like OverlapBlocker's stop tokens.
+    double max_bucket_fraction = 0.01;
+    /// Absolute ceiling on the bucket cap (floor 16). Without it the cap
+    /// grows linearly with the table, making probe cost quadratic at
+    /// million-row scale; a true near-duplicate shares *rare* shingles,
+    /// so skipping huge buckets costs almost no recall.
+    size_t max_bucket_cap = 2048;
+    uint64_t seed = 0x5EEDB10CULL;  ///< hash-family seed
+  };
+
+  MinHashBlocker(const std::vector<Record>& left_table,
+                 const std::vector<Record>& right_table,
+                 const Config& config);
+  /// Default configuration.
+  MinHashBlocker(const std::vector<Record>& left_table,
+                 const std::vector<Record>& right_table);
+
+  const char* Name() const override { return "minhash"; }
+  size_t left_size() const override { return left_table_->size(); }
+  size_t right_size() const override { return right_size_; }
+
+  /// Band keys of one record (exposed for tests / diagnostics).
+  std::vector<uint64_t> BandKeys(const Record& record) const;
+
+ protected:
+  void CandidatesForLeft(int left_index,
+                         std::vector<PairExample>* out) const override;
+
+ private:
+  Config config_;
+  const std::vector<Record>* left_table_;  // not owned; must outlive this
+  size_t right_size_ = 0;
+  size_t bucket_cap_ = 0;
+  /// Per band: right-record band keys sorted ascending (ties by right
+  /// index), probed with equal_range.
+  std::vector<std::vector<uint64_t>> band_keys_;
+  std::vector<std::vector<int32_t>> band_rights_;
+};
+
 /// Blocking quality: pair completeness = fraction of gold matches kept;
 /// reduction ratio = 1 - |candidates| / (|left| * |right|).
 struct BlockingQuality {
   double pair_completeness = 0.0;
   double reduction_ratio = 0.0;
+  size_t num_candidates = 0;
 };
 
 /// Evaluates candidates against gold matched pairs.
@@ -55,6 +226,13 @@ BlockingQuality EvaluateBlocking(
     const std::vector<PairExample>& candidates,
     const std::vector<PairExample>& gold_matches, size_t left_size,
     size_t right_size);
+
+/// Streaming variant: folds the blocker's chunks without materializing
+/// the candidate list (memory bounded by `chunk_size` + the gold set).
+/// Resets the blocker first and leaves it exhausted.
+BlockingQuality EvaluateBlockingStream(
+    Blocker* blocker, const std::vector<PairExample>& gold_matches,
+    size_t chunk_size = 65536);
 
 }  // namespace promptem::data
 

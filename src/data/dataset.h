@@ -9,8 +9,15 @@
 
 namespace promptem::data {
 
-/// One labeled candidate pair: indexes into the dataset's tables plus a
-/// binary match label (1 = match / relevant, 0 = mismatch).
+/// Label value for candidate pairs that carry no gold label — what every
+/// Blocker emits. Distinct from 0 so downstream metrics can tell "true
+/// negative" from "nobody labeled this"; ComputeMetrics skips unlabeled
+/// pairs and McEl2nScoreBatch rejects them.
+inline constexpr int kUnlabeledLabel = -1;
+
+/// One candidate pair: indexes into the dataset's tables plus a binary
+/// match label (1 = match / relevant, 0 = mismatch, kUnlabeledLabel = no
+/// gold label attached).
 struct PairExample {
   int left_index = 0;
   int right_index = 0;

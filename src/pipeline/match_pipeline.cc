@@ -1,0 +1,144 @@
+#include "pipeline/match_pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/status.h"
+
+namespace promptem::em {
+
+namespace {
+
+/// The total order top-k selection uses: higher P(yes) first, then table
+/// position. Strict ordering with no equal elements (a candidate pair is
+/// unique), so the retained set cannot depend on arrival order — i.e. on
+/// chunk size.
+bool BetterMatch(const ScoredMatch& a, const ScoredMatch& b) {
+  if (a.pos_prob != b.pos_prob) return a.pos_prob > b.pos_prob;
+  if (a.left_index != b.left_index) return a.left_index < b.left_index;
+  return a.right_index < b.right_index;
+}
+
+}  // namespace
+
+MatchPipeline::MatchPipeline(data::Blocker* blocker, ChunkScoreFn scorer,
+                             MatchPipelineConfig config)
+    : blocker_(blocker),
+      scorer_(std::move(scorer)),
+      config_(std::move(config)) {
+  PROMPTEM_CHECK(blocker_ != nullptr);
+  PROMPTEM_CHECK(scorer_ != nullptr);
+  PROMPTEM_CHECK(config_.chunk_size > 0);
+  blocker_->Reset();
+  chunk_.reserve(config_.chunk_size);
+}
+
+bool MatchPipeline::Step() {
+  if (finalized_) return false;
+  chunk_.clear();
+  const size_t pulled = blocker_->NextChunk(config_.chunk_size, &chunk_);
+  if (pulled == 0) {
+    // Stream exhausted: heap order -> final (prob desc, left, right) order.
+    std::sort(result_.top_matches.begin(), result_.top_matches.end(),
+              BetterMatch);
+    finalized_ = true;
+    return false;
+  }
+  if (config_.gold_label) {
+    for (auto& pair : chunk_) {
+      pair.label = config_.gold_label(pair.left_index, pair.right_index);
+    }
+  }
+  FoldChunk(chunk_, scorer_(chunk_));
+  return true;
+}
+
+MatchPipelineResult MatchPipeline::Run() {
+  while (Step()) {
+  }
+  return result_;
+}
+
+void MatchPipeline::FoldChunk(const std::vector<data::PairExample>& chunk,
+                              const std::vector<ProbPair>& probs) {
+  PROMPTEM_CHECK_MSG(probs.size() == chunk.size(),
+                     "chunk scorer must return one ProbPair per candidate");
+  ++result_.chunks;
+  result_.candidates += chunk.size();
+  result_.max_chunk = std::max(result_.max_chunk, chunk.size());
+  auto& top = result_.top_matches;
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    const data::PairExample& pair = chunk[i];
+    const float pos = probs[i][1];
+    const int pred = pos >= config_.threshold ? 1 : 0;
+    if (pair.label == data::kUnlabeledLabel) {
+      ++result_.unlabeled;
+    } else {
+      ++result_.labeled;
+    }
+    result_.metrics.Count(pred, pair.label);
+    if (pred == 1) {
+      ++result_.matches;
+      if (config_.top_k_matches > 0) {
+        const ScoredMatch match{pair.left_index, pair.right_index, pos};
+        if (top.size() < config_.top_k_matches) {
+          // Max-heap under BetterMatch-as-less: the worst retained match
+          // sits at the front, ready to be displaced.
+          top.push_back(match);
+          std::push_heap(top.begin(), top.end(), BetterMatch);
+        } else if (BetterMatch(match, top.front())) {
+          std::pop_heap(top.begin(), top.end(), BetterMatch);
+          top.back() = match;
+          std::push_heap(top.begin(), top.end(), BetterMatch);
+        }
+      }
+    }
+    if (config_.on_scored) config_.on_scored(pair, probs[i]);
+  }
+}
+
+ChunkScoreFn MakeClassifierChunkScorer(PairClassifier* model,
+                                       const PairEncoder* encoder,
+                                       const data::GemDataset* dataset) {
+  PROMPTEM_CHECK(model != nullptr);
+  PROMPTEM_CHECK(encoder != nullptr);
+  PROMPTEM_CHECK(dataset != nullptr);
+  return [model, encoder,
+          dataset](const std::vector<data::PairExample>& chunk) {
+    return ScoreBatch(model, encoder->EncodeAll(*dataset, chunk));
+  };
+}
+
+data::GemDataset MakeTableDataset(std::string name,
+                                  std::vector<data::Record> left,
+                                  std::vector<data::Record> right) {
+  data::GemDataset dataset;
+  dataset.name = std::move(name);
+  dataset.domain = "tables";
+  dataset.left_table = std::move(left);
+  dataset.right_table = std::move(right);
+  return dataset;
+}
+
+MatchPipelineResult RunTableMatch(train::Matcher* matcher,
+                                  const train::MatcherContext& ctx,
+                                  data::Blocker* blocker,
+                                  const MatchPipelineConfig& config) {
+  PROMPTEM_CHECK(matcher != nullptr);
+  PROMPTEM_CHECK(ctx.dataset != nullptr);
+  ChunkScoreFn scorer =
+      [matcher, &ctx](const std::vector<data::PairExample>& chunk) {
+        const std::vector<int> labels = matcher->Predict(ctx, chunk);
+        PROMPTEM_CHECK(labels.size() == chunk.size());
+        std::vector<ProbPair> probs(labels.size());
+        for (size_t i = 0; i < labels.size(); ++i) {
+          probs[i] = labels[i] == 1 ? ProbPair{0.0f, 1.0f}
+                                    : ProbPair{1.0f, 0.0f};
+        }
+        return probs;
+      };
+  MatchPipeline pipeline(blocker, std::move(scorer), config);
+  return pipeline.Run();
+}
+
+}  // namespace promptem::em

@@ -16,7 +16,10 @@ namespace promptem::em {
 struct EncodedPair {
   std::vector<int> left_ids;
   std::vector<int> right_ids;
-  int label = 0;  ///< ground truth (hidden for D_U except in evaluation)
+  /// Ground truth (hidden for D_U except in evaluation);
+  /// data::kUnlabeledLabel for blocker-generated candidates — metric
+  /// reductions skip those, label-consuming estimators reject them.
+  int label = 0;
 };
 
 /// Turns records into EncodedPairs: serialize (§2.2), tokenize, and apply

@@ -2,6 +2,7 @@
 
 #include "core/status.h"
 #include "core/string_util.h"
+#include "data/dataset.h"
 
 namespace promptem::em {
 
@@ -33,22 +34,29 @@ std::string Metrics::ToString() const {
                          Recall() * 100.0, F1() * 100.0);
 }
 
+void Metrics::Count(int prediction, int gold) {
+  if (gold == data::kUnlabeledLabel) return;
+  PROMPTEM_CHECK_MSG(gold == 0 || gold == 1,
+                     "gold label must be 0, 1, or kUnlabeledLabel");
+  const bool pred = prediction == 1;
+  const bool truth = gold == 1;
+  if (pred && truth) {
+    ++tp;
+  } else if (pred && !truth) {
+    ++fp;
+  } else if (!pred && truth) {
+    ++fn;
+  } else {
+    ++tn;
+  }
+}
+
 Metrics ComputeMetrics(const std::vector<int>& predictions,
                        const std::vector<int>& gold) {
   PROMPTEM_CHECK(predictions.size() == gold.size());
   Metrics m;
   for (size_t i = 0; i < predictions.size(); ++i) {
-    const bool pred = predictions[i] == 1;
-    const bool truth = gold[i] == 1;
-    if (pred && truth) {
-      ++m.tp;
-    } else if (pred && !truth) {
-      ++m.fp;
-    } else if (!pred && truth) {
-      ++m.fn;
-    } else {
-      ++m.tn;
-    }
+    m.Count(predictions[i], gold[i]);
   }
   return m;
 }

@@ -25,15 +25,27 @@ struct Metrics {
 
   /// "P=xx.x R=xx.x F1=xx.x".
   std::string ToString() const;
+
+  /// Folds one prediction into the counts. A gold value of
+  /// data::kUnlabeledLabel (a blocker-generated candidate with no gold
+  /// label) is skipped — it is not a true negative and must never count
+  /// as one. This is the incremental reduction the streaming match
+  /// pipeline uses; ComputeMetrics is a loop over it.
+  void Count(int prediction, int gold);
+
+  /// Total labeled pairs folded so far.
+  int TotalCounted() const { return tp + fp + tn + fn; }
 };
 
-/// Tallies predictions (1 = match) against gold labels.
+/// Tallies predictions (1 = match) against gold labels; unlabeled gold
+/// entries (data::kUnlabeledLabel) are skipped, not counted as negatives.
 Metrics ComputeMetrics(const std::vector<int>& predictions,
                        const std::vector<int>& gold);
 
 /// Tallies {P(no), P(yes)} pairs from the batched scoring engine
 /// (scoring.h) against gold labels, thresholding P(yes) at 0.5 — the
-/// reduction end of the unified eval path.
+/// reduction end of the unified eval path. Skips unlabeled gold entries
+/// like ComputeMetrics.
 Metrics MetricsFromProbs(const std::vector<std::array<float, 2>>& probs,
                          const std::vector<int>& gold);
 

@@ -99,10 +99,13 @@ std::vector<float> McEl2nScoreBatch(PairClassifier* model,
                                     int passes, core::Rng* rng) {
   PROMPTEM_CHECK(passes >= 1);
   // Same contract as scalar McEl2nScore: EL2N needs a one-hot target, so
-  // an unlabeled pair (label -1) in the batch is a caller bug — catch it
+  // an unlabeled pair (label == data::kUnlabeledLabel, e.g. a
+  // blocker-generated candidate) in the batch is a caller bug — catch it
   // before the parallel region rather than letting it silently poison the
   // pruning scores.
   for (const auto& x : xs) {
+    PROMPTEM_CHECK_MSG(x.label != data::kUnlabeledLabel,
+                       "McEl2nScoreBatch rejects unlabeled pairs");
     PROMPTEM_CHECK_MSG(x.label == 0 || x.label == 1,
                        "McEl2nScoreBatch requires labeled pairs");
   }

@@ -16,21 +16,30 @@
 // Dataset directories follow src/data/io.h's layout (left.csv|jsonl|txt,
 // right.*, pairs_{train,valid,test}.csv).
 
+#include <algorithm>
 #include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "baselines/matchers.h"
 #include "core/table_printer.h"
 #include "core/timer.h"
 #include "data/benchmarks.h"
+#include "data/blocking.h"
 #include "data/io.h"
+#include "data/synthetic.h"
 #include "lm/pretrained_lm.h"
+#include "pipeline/match_pipeline.h"
 #include "promptem/scoring.h"
 #include "tensor/kernels.h"
 #include "train/observer.h"
@@ -56,6 +65,25 @@ void PrintUsage() {
       "  --quantize Q    eval-path quantization: none (default) or int8\n"
       "                  (training always runs f32)\n"
       "  --export DIR    write the dataset to DIR and exit\n"
+      "promptem_cli --match-tables [--synthetic N | --left STEM --right STEM]\n"
+      "             [--blocker B] [--block-top-k K] [--chunk-size C]\n"
+      "             [--threshold T] [--top-matches M] [training options]\n"
+      "  streaming table match: block -> chunked score -> incremental\n"
+      "  metrics, memory bounded by the chunk size\n"
+      "  --synthetic N   seeded N-row synthetic workload with known gold\n"
+      "                  (also supplies the training pairs)\n"
+      "  --left STEM     load tables from STEM.csv|jsonl|txt (no gold\n"
+      "  --right STEM    pairs); train on --dataset or --dir\n"
+      "  with --dataset/--dir alone, matches the dataset's own tables\n"
+      "  --blocker B     overlap (default), minhash, or allpairs\n"
+      "  --block-top-k K candidates kept per left record (default 10)\n"
+      "  --chunk-size C  candidates scored per chunk (default 4096)\n"
+      "  --threshold T   declare a match when P(yes) >= T (default 0.5)\n"
+      "  --top-matches M strongest matches to print (default 10)\n"
+      "promptem_cli --blocking-report (--synthetic N | --dataset NAME |\n"
+      "             --dir PATH) [--blocker B] [--block-top-k K]\n"
+      "  stream the blocker against the gold matches and report pair\n"
+      "  completeness / reduction ratio (no training involved)\n"
       "promptem_cli --kernel-info\n"
       "  print detected ISA, active kernel variant, and quantization mode\n"
       "  (PROMPTEM_FORCE_SCALAR=1 pins the portable kernels)");
@@ -123,6 +151,32 @@ bool ParseIntArg(const char* text, long long* out) {
   std::exit(2);
 }
 
+/// Builds the requested blocker over `tables`. The returned blocker keeps
+/// pointers into `tables` (MinHash), which must outlive it.
+std::unique_ptr<data::Blocker> MakeBlocker(const std::string& name,
+                                           const data::GemDataset& tables,
+                                           int top_k) {
+  if (name == "allpairs") {
+    return std::make_unique<data::AllPairsBlocker>(tables.left_table.size(),
+                                                   tables.right_table.size());
+  }
+  if (name == "overlap") {
+    data::OverlapBlocker::Config config;
+    config.top_k = top_k;
+    return std::make_unique<data::OverlapBlocker>(tables.left_table,
+                                                  tables.right_table, config);
+  }
+  data::MinHashBlocker::Config config;
+  config.top_k = top_k;
+  return std::make_unique<data::MinHashBlocker>(tables.left_table,
+                                                tables.right_table, config);
+}
+
+uint64_t PackPair(int left, int right) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(left)) << 32) |
+         static_cast<uint32_t>(right);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -139,6 +193,16 @@ int main(int argc, char** argv) {
   double rate = -1.0;
   int labels = -1;
   uint64_t seed = 42;
+  bool match_tables = false;
+  bool blocking_report = false;
+  std::string blocker_name = "overlap";
+  std::string left_stem;
+  std::string right_stem;
+  long long synthetic_rows = 0;
+  int block_top_k = 10;
+  long long chunk_size = 4096;
+  double threshold = 0.5;
+  long long top_matches = 10;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -208,25 +272,111 @@ int main(int argc, char** argv) {
       lm_prefix = next();
     } else if (arg == "--export") {
       export_dir = next();
+    } else if (arg == "--match-tables") {
+      match_tables = true;
+    } else if (arg == "--blocking-report") {
+      blocking_report = true;
+    } else if (arg == "--blocker") {
+      blocker_name = next();
+      if (blocker_name != "overlap" && blocker_name != "minhash" &&
+          blocker_name != "allpairs") {
+        BadOption(arg, blocker_name.c_str(), "overlap, minhash, or allpairs");
+      }
+    } else if (arg == "--left") {
+      left_stem = next();
+    } else if (arg == "--right") {
+      right_stem = next();
+    } else if (arg == "--synthetic") {
+      const char* value = next();
+      if (!ParseIntArg(value, &synthetic_rows) || synthetic_rows < 1) {
+        BadOption(arg, value, "a positive row count");
+      }
+    } else if (arg == "--block-top-k") {
+      const char* value = next();
+      long long parsed = 0;
+      if (!ParseIntArg(value, &parsed) || parsed < 1 ||
+          parsed > std::numeric_limits<int>::max()) {
+        BadOption(arg, value, "a positive candidate count");
+      }
+      block_top_k = static_cast<int>(parsed);
+    } else if (arg == "--chunk-size") {
+      const char* value = next();
+      if (!ParseIntArg(value, &chunk_size) || chunk_size < 1) {
+        BadOption(arg, value, "a positive chunk size");
+      }
+    } else if (arg == "--threshold") {
+      const char* value = next();
+      if (!ParseDoubleArg(value, &threshold) || threshold < 0.0 ||
+          threshold > 1.0) {
+        BadOption(arg, value, "a probability in [0,1]");
+      }
+    } else if (arg == "--top-matches") {
+      const char* value = next();
+      if (!ParseIntArg(value, &top_matches) || top_matches < 0) {
+        BadOption(arg, value, "a non-negative count");
+      }
     } else {
       PrintUsage();
       return 2;
     }
   }
 
-  if (dataset_name.empty() && dir.empty()) {
-    PrintUsage();
+  const bool pipeline_mode = match_tables || blocking_report;
+  const bool have_user_tables = !left_stem.empty() || !right_stem.empty();
+  if (have_user_tables && (left_stem.empty() || right_stem.empty())) {
+    std::fprintf(stderr, "--left and --right must be given together\n");
+    return 2;
+  }
+  if (have_user_tables && !match_tables) {
+    std::fprintf(stderr, "--left/--right require --match-tables\n");
+    return 2;
+  }
+  if (have_user_tables && synthetic_rows > 0) {
+    std::fprintf(stderr,
+                 "--left/--right and --synthetic are mutually exclusive\n");
+    return 2;
+  }
+  if (blocking_report && have_user_tables) {
+    std::fprintf(stderr,
+                 "--blocking-report needs gold matches; --left/--right "
+                 "tables carry none (use --synthetic or a dataset)\n");
     return 2;
   }
   if (!dataset_name.empty() && !dir.empty()) {
     std::fprintf(stderr, "--dataset and --dir are mutually exclusive\n");
     return 2;
   }
+  if (synthetic_rows > 0 && (!dataset_name.empty() || !dir.empty())) {
+    std::fprintf(stderr,
+                 "--synthetic and --dataset/--dir are mutually exclusive\n");
+    return 2;
+  }
+  if (dataset_name.empty() && dir.empty() && synthetic_rows == 0) {
+    PrintUsage();
+    return 2;
+  }
+  if (have_user_tables && dataset_name.empty() && dir.empty()) {
+    std::fprintf(stderr,
+                 "--left/--right tables have no training pairs; supply "
+                 "training data with --dataset or --dir\n");
+    return 2;
+  }
 
-  // Resolve the dataset.
+  // Resolve the (training) dataset.
   data::GemDataset dataset;
   data::BenchmarkKind kind = data::BenchmarkKind::kSemiHomo;  // DADER source
-  if (!dataset_name.empty()) {
+  data::SyntheticTables synthetic;  // gold mapping when --synthetic
+  if (synthetic_rows > 0) {
+    data::SyntheticTableOptions options;
+    options.rows = static_cast<size_t>(synthetic_rows);
+    options.seed = seed;
+    synthetic = data::GenerateSyntheticTables(options);
+    // The tables move into the dataset; the gold mapping stays behind in
+    // `synthetic` for the pipeline's oracle and the blocking report.
+    dataset = synthetic.ToDataset(
+        std::min<size_t>(static_cast<size_t>(synthetic_rows), 256),
+        seed ^ 0xDA7AULL);
+  } else if (!dataset_name.empty()) {
     auto resolved = KindByName(dataset_name);
     if (!resolved) {
       std::fprintf(stderr, "unknown benchmark %s (see --list)\n",
@@ -246,6 +396,65 @@ int main(int argc, char** argv) {
     dataset.default_rate = 0.10;
   }
 
+  // Resolve the tables the pipeline blocks over, the gold oracle, and the
+  // gold match list.
+  data::GemDataset user_tables;
+  const data::GemDataset* match_ds = &dataset;
+  std::function<int(int, int)> gold_label;
+  std::vector<data::PairExample> gold_matches;
+  if (pipeline_mode) {
+    if (have_user_tables) {
+      auto left_loaded = data::LoadTableAuto(left_stem);
+      auto right_loaded = data::LoadTableAuto(right_stem);
+      if (!left_loaded.ok() || !right_loaded.ok()) {
+        const auto& bad = !left_loaded.ok() ? left_loaded : right_loaded;
+        std::fprintf(stderr, "failed to load tables: %s\n",
+                     bad.status().ToString().c_str());
+        return 1;
+      }
+      user_tables = em::MakeTableDataset("tables",
+                                         std::move(left_loaded).value(),
+                                         std::move(right_loaded).value());
+      match_ds = &user_tables;
+    } else if (synthetic_rows > 0) {
+      gold_label = [&synthetic](int l, int r) {
+        return synthetic.GoldLabel(l, r);
+      };
+      gold_matches = synthetic.GoldMatches();
+    } else {
+      // Dataset mode: the labeled pairs are the only gold we have; every
+      // other candidate the blocker proposes stays kUnlabeledLabel and is
+      // skipped by the incremental metrics.
+      auto known = std::make_shared<std::unordered_map<uint64_t, int>>();
+      for (const auto* pairs : {&dataset.train, &dataset.valid,
+                                &dataset.test}) {
+        for (const auto& p : *pairs) {
+          (*known)[PackPair(p.left_index, p.right_index)] = p.label;
+          if (p.label == 1) gold_matches.push_back(p);
+        }
+      }
+      gold_label = [known](int l, int r) {
+        const auto it = known->find(PackPair(l, r));
+        return it == known->end() ? data::kUnlabeledLabel : it->second;
+      };
+    }
+  }
+
+  if (blocking_report) {
+    auto blocker = MakeBlocker(blocker_name, *match_ds, block_top_k);
+    const data::BlockingQuality quality = data::EvaluateBlockingStream(
+        blocker.get(), gold_matches, static_cast<size_t>(chunk_size));
+    core::TablePrinter table({"blocker", "left", "right", "candidates",
+                              "completeness", "reduction"});
+    table.AddRow({blocker->Name(), std::to_string(blocker->left_size()),
+                  std::to_string(blocker->right_size()),
+                  std::to_string(quality.num_candidates),
+                  core::TablePrinter::Pct(quality.pair_completeness),
+                  core::TablePrinter::Pct(quality.reduction_ratio)});
+    table.Print();
+    if (!match_tables) return 0;
+  }
+
   if (!export_dir.empty()) {
     core::Status st = data::SaveGemDataset(dataset, export_dir);
     if (!st.ok()) {
@@ -261,6 +470,15 @@ int main(int argc, char** argv) {
   std::unique_ptr<train::Matcher> matcher =
       train::MatcherRegistry::Instance().Create(matcher_name);
   if (matcher == nullptr) UnknownMatcher(matcher_name);
+  if (have_user_tables && matcher_name.rfind("TDmatch", 0) == 0) {
+    // The TDmatch family predicts from a graph built over its training
+    // tables; candidate indices into different tables would be garbage.
+    std::fprintf(stderr,
+                 "%s cannot match separate --left/--right tables (its "
+                 "graph is bound to the training tables)\n",
+                 matcher_name.c_str());
+    return 2;
+  }
 
   std::unique_ptr<train::JsonlRunLogger> run_logger;
   if (!run_log_path.empty()) {
@@ -309,6 +527,39 @@ int main(int argc, char** argv) {
               core::FormatBytes(result.peak_memory_bytes).c_str());
   if (run_logger != nullptr) {
     std::printf("run log appended to %s\n", run_logger->path().c_str());
+  }
+
+  if (match_tables) {
+    auto blocker = MakeBlocker(blocker_name, *match_ds, block_top_k);
+    em::MatchPipelineConfig config;
+    config.chunk_size = static_cast<size_t>(chunk_size);
+    config.threshold = static_cast<float>(threshold);
+    config.top_k_matches = static_cast<size_t>(top_matches);
+    config.gold_label = gold_label;
+    train::MatcherContext match_ctx = ctx;
+    match_ctx.dataset = match_ds;
+    const em::MatchPipelineResult r =
+        em::RunTableMatch(matcher.get(), match_ctx, blocker.get(), config);
+    std::printf(
+        "table match [%s]: %zu x %zu rows -> %zu candidates in %zu "
+        "chunks (max chunk %zu)\n",
+        blocker->Name(), blocker->left_size(), blocker->right_size(),
+        r.candidates, r.chunks, r.max_chunk);
+    std::printf("matches (P(yes) >= %.2f): %zu\n", threshold, r.matches);
+    if (r.labeled > 0) {
+      std::printf("gold-labeled candidates: %zu of %zu, %s\n", r.labeled,
+                  r.candidates, r.metrics.ToString().c_str());
+    }
+    if (!r.top_matches.empty()) {
+      core::TablePrinter table({"left", "right", "P(yes)"});
+      for (const auto& m : r.top_matches) {
+        char prob[32];
+        std::snprintf(prob, sizeof(prob), "%.4f", m.pos_prob);
+        table.AddRow({std::to_string(m.left_index),
+                      std::to_string(m.right_index), prob});
+      }
+      table.Print();
+    }
   }
   return 0;
 }
