@@ -7,7 +7,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <memory>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/tdmatch.h"
@@ -17,13 +20,19 @@
 #include "data/blocking.h"
 #include "data/serializer.h"
 #include "data/synthetic.h"
+#include "nn/serialize.h"
 #include "nn/transformer.h"
+#include "pipeline/incremental.h"
 #include "pipeline/match_pipeline.h"
+#include "promptem/embed_cache.h"
+#include "promptem/encoding.h"
+#include "promptem/scoring.h"
 #include "tensor/arena.h"
 #include "tensor/autograd.h"
 #include "tensor/kernels.h"
 #include "tensor/ops.h"
 #include "text/tokenizer.h"
+#include "text/vocab.h"
 
 // Build-type stamp injected by bench/CMakeLists.txt; reported via
 // AddCustomContext and used to refuse recording BENCH_micro.json from a
@@ -426,6 +435,287 @@ BENCHMARK(BM_BlockScoreMatch)
     ->Arg(10000)
     ->Arg(100000)
     ->Arg(1000000);
+
+// ---------------------------------------------------------------------
+// Record caches and incremental matching (DESIGN.md §13).
+
+/// Corpus vocabulary for the cache benches, built the way PretrainedLM
+/// builds its own: tokenize every serialized record.
+text::Vocab BuildBenchVocab(const data::GemDataset& ds) {
+  std::vector<std::vector<std::string>> docs;
+  docs.reserve(ds.left_table.size() + ds.right_table.size());
+  for (const auto& r : ds.left_table) {
+    docs.push_back(text::WordTokenize(data::SerializeRecord(r)));
+  }
+  for (const auto& r : ds.right_table) {
+    docs.push_back(text::WordTokenize(data::SerializeRecord(r)));
+  }
+  return text::BuildVocab(docs, 1, 0);
+}
+
+/// `n` distinct candidate pairs cycling both tables (duplicates would
+/// let the "cold" cache configurations hit within a single sweep).
+std::vector<data::PairExample> MakeBenchPairs(size_t left, size_t right,
+                                              size_t n) {
+  std::vector<data::PairExample> pairs;
+  std::set<std::pair<int, int>> seen;
+  core::Rng rng(11);
+  while (pairs.size() < n) {
+    const int l = static_cast<int>(rng.NextU64(left));
+    const int r = static_cast<int>(rng.NextU64(right));
+    if (!seen.insert({l, r}).second) continue;
+    pairs.push_back({l, r, 0});
+  }
+  return pairs;
+}
+
+/// PairEncoder::EncodeAll across pool sizes: Args({threads, warm}).
+/// warm=0 invalidates the memo every iteration (pure parallel
+/// serialize+tokenize throughput); warm=1 measures the memoized
+/// steady state self-training actually runs in. Output is bitwise
+/// identical at every pool size and cache state (tests/cache_test.cc
+/// pins that; this records the speed).
+void BM_EncodeChunkParallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const bool warm = state.range(1) != 0;
+  data::GemDataset ds =
+      data::GenerateBenchmark(data::BenchmarkKind::kSemiHomo, 42);
+  text::Vocab vocab = BuildBenchVocab(ds);
+  em::PairEncoder encoder(&vocab, 64);
+  encoder.FitSummarizer(ds);
+  const std::vector<data::PairExample> pairs =
+      MakeBenchPairs(ds.left_table.size(), ds.right_table.size(), 4096);
+  const int saved = core::GetNumThreads();
+  core::SetNumThreads(threads);
+  if (warm) {
+    auto warmup = encoder.EncodeAll(ds, pairs);
+    benchmark::DoNotOptimize(warmup);
+  }
+  for (auto _ : state) {
+    if (!warm) encoder.InvalidateCache();
+    auto encoded = encoder.EncodeAll(ds, pairs);
+    benchmark::DoNotOptimize(encoded);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(pairs.size()));
+  state.counters["threads"] = threads;
+  state.counters["warm"] = warm ? 1 : 0;
+  core::SetNumThreads(saved);
+}
+BENCHMARK(BM_EncodeChunkParallel)
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({4, 0})
+    ->Args({1, 1})
+    ->Args({4, 1});
+
+/// EmbeddingCache probe cost on the two pure paths: Arg 1 = every probe
+/// hits (shared_ptr copy out of the sharded table), Arg 0 = every probe
+/// misses (a different context tag, the cross-context isolation case).
+void BM_EmbedCacheHitMiss(benchmark::State& state) {
+  const bool hit = state.range(0) != 0;
+  constexpr size_t kEntries = 4096;
+  constexpr int kDim = 64;
+  em::EmbeddingCache cache(1u << 14);
+  const uint64_t tag = em::EmbeddingCache::ContextTag(0x1234u, 0x5678u);
+  const uint64_t other_tag =
+      em::EmbeddingCache::ContextTag(0x4321u, 0x5678u);
+  for (size_t i = 0; i < kEntries; ++i) {
+    cache.Insert(em::EmbeddingCache::PairKey(tag, static_cast<int>(i),
+                                             static_cast<int>(i)),
+                 std::vector<float>(kDim, static_cast<float>(i)));
+  }
+  const uint64_t probe_tag = hit ? tag : other_tag;
+  for (auto _ : state) {
+    size_t found = 0;
+    for (size_t i = 0; i < kEntries; ++i) {
+      auto entry = cache.Find(em::EmbeddingCache::PairKey(
+          probe_tag, static_cast<int>(i), static_cast<int>(i)));
+      found += entry != nullptr;
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(kEntries));
+  state.counters["hit"] = hit ? 1 : 0;
+}
+BENCHMARK(BM_EmbedCacheHitMiss)->Arg(0)->Arg(1);
+
+/// The clustering strategy's per-iteration embedding sweep over a pool
+/// that shrinks as pseudo-labels are taken — the workload --embed-cache
+/// exists for. A frozen embedder (a fixed probe model, as in
+/// PromptEM::Run) re-embeds the surviving pool every round; Arg 0 pays
+/// the full transformer forward per pair per round, Arg 1 rides
+/// EmbedBatchCached so each pair is embedded once per sweep. Keys are
+/// the real restart-stable composites (DatasetFingerprint x
+/// ParameterFingerprint), so this also prices key construction.
+void BM_SelfTrainCached(benchmark::State& state) {
+  const bool cached = state.range(0) != 0;
+  data::GemDataset ds =
+      data::GenerateBenchmark(data::BenchmarkKind::kSemiHomo, 42);
+  text::Vocab vocab = BuildBenchVocab(ds);
+  em::PairEncoder encoder(&vocab, 40);
+  encoder.FitSummarizer(ds);
+  const std::vector<data::PairExample> pool_pairs =
+      MakeBenchPairs(ds.left_table.size(), ds.right_table.size(), 192);
+  const std::vector<em::EncodedPair> xs = encoder.EncodeAll(ds, pool_pairs);
+
+  nn::TransformerConfig config = ForwardBenchConfig();
+  config.vocab_size = vocab.size();
+  core::Rng init_rng(3);
+  nn::TransformerEncoder embedder(config, &init_rng);
+  embedder.Eval();
+  const int max_len = config.max_seq_len;
+  const em::PairEmbedFn embed = [&embedder, max_len](const em::EncodedPair& x,
+                                                     core::Rng* rng) {
+    std::vector<int> ids;
+    ids.reserve(static_cast<size_t>(max_len));
+    ids.push_back(text::SpecialTokens::kCls);
+    for (int id : x.left_ids) {
+      if (ids.size() + 2 >= static_cast<size_t>(max_len)) break;
+      ids.push_back(id);
+    }
+    ids.push_back(text::SpecialTokens::kSep);
+    for (int id : x.right_ids) {
+      if (ids.size() + 1 >= static_cast<size_t>(max_len)) break;
+      ids.push_back(id);
+    }
+    tensor::Tensor h = embedder.Encode(ids, rng);
+    const int rows = h.shape()[0];
+    const int dim = h.shape()[1];
+    std::vector<float> pooled(static_cast<size_t>(dim), 0.0f);
+    for (int t = 0; t < rows; ++t) {
+      for (int d = 0; d < dim; ++d) {
+        pooled[static_cast<size_t>(d)] += h.data()[t * dim + d];
+      }
+    }
+    for (float& v : pooled) v /= static_cast<float>(rows);
+    return pooled;
+  };
+
+  const uint64_t tag = em::EmbeddingCache::ContextTag(
+      data::DatasetFingerprint(ds), nn::ParameterFingerprint(embedder));
+  std::vector<uint64_t> all_keys;
+  all_keys.reserve(pool_pairs.size());
+  for (const auto& p : pool_pairs) {
+    all_keys.push_back(
+        em::EmbeddingCache::PairKey(tag, p.left_index, p.right_index));
+  }
+
+  int64_t embeds_requested = 0;
+  size_t hits = 0;
+  size_t misses = 0;
+  for (auto _ : state) {
+    // A fresh cache per sweep: round 1 pays every miss, later rounds hit
+    // — exactly what one self-training run (or one restart with a
+    // persisted file absent) experiences.
+    em::EmbeddingCache cache(1u << 12);
+    std::vector<em::EncodedPair> pool = xs;
+    std::vector<uint64_t> keys = all_keys;
+    while (pool.size() > 8) {
+      auto embeddings = em::EmbedBatchCached(embed, pool, {},
+                                             cached ? &cache : nullptr, keys);
+      benchmark::DoNotOptimize(embeddings);
+      embeds_requested += static_cast<int64_t>(pool.size());
+      // Self-training takes confident pairs out of the pool each round;
+      // the fixed 20% take-rate stands in for the confidence threshold.
+      const size_t keep = pool.size() - pool.size() / 5;
+      pool.resize(keep);
+      keys.resize(keep);
+    }
+    hits = cache.stats().hits;
+    misses = cache.stats().misses;
+  }
+  state.SetItemsProcessed(embeds_requested);
+  state.counters["cached"] = cached ? 1 : 0;
+  state.counters["cache_hits"] = static_cast<double>(hits);
+  state.counters["cache_misses"] = static_cast<double>(misses);
+}
+BENCHMARK(BM_SelfTrainCached)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(0)
+    ->Arg(1);
+
+/// Re-match cost after a delta of Arg(0) changed records, through
+/// em::IncrementalMatcher over the 10k-row synthetic workload. The
+/// counters are the claim: `rescored` stays O(delta x candidates-per-
+/// record) while `reused` carries the rest of the candidate set, and
+/// `candidates` ~ `full_candidates` shows the blocker still streams the
+/// full set (scoring, not blocking, is what the cache saves).
+void BM_IncrementalMatch(benchmark::State& state) {
+  const int delta_records = static_cast<int>(state.range(0));
+  data::SyntheticTableOptions options;
+  options.rows = 10000;
+  options.seed = 42;
+  const data::SyntheticTables tables = data::GenerateSyntheticTables(options);
+  data::GemDataset ds;
+  ds.left_table = tables.left;
+  ds.right_table = tables.right;
+
+  // The same deterministic hash-stub scorer as BM_BlockScoreMatch: this
+  // bench prices the delta machinery, not model forwards (which would
+  // only widen the rescored-vs-reused gap).
+  const em::IncrementalMatcher::ScorerFactory scorer_factory =
+      [](const data::GemDataset&) {
+        return em::ChunkScoreFn(
+            [](const std::vector<data::PairExample>& chunk) {
+              std::vector<em::ProbPair> probs(chunk.size());
+              for (size_t i = 0; i < chunk.size(); ++i) {
+                const uint64_t h =
+                    ((static_cast<uint64_t>(static_cast<uint32_t>(
+                          chunk[i].left_index))
+                      << 32) ^
+                     static_cast<uint32_t>(chunk[i].right_index)) *
+                    0x9E3779B97F4A7C15ULL;
+                const float pos =
+                    static_cast<float>((h >> 40) & 0xFFFF) / 65535.0f;
+                probs[i] = {1.0f - pos, pos};
+              }
+              return probs;
+            });
+      };
+  em::IncrementalMatcher::BlockerFactory blocker_factory =
+      [](const data::GemDataset& d) {
+        return std::unique_ptr<data::Blocker>(
+            std::make_unique<data::MinHashBlocker>(d.left_table,
+                                                   d.right_table));
+      };
+  em::IncrementalMatcher::Config config;
+  config.pipeline.chunk_size = 8192;
+  em::IncrementalMatcher matcher(std::move(ds), scorer_factory,
+                                 std::move(blocker_factory), config);
+  const auto full = matcher.FullMatch();
+  benchmark::DoNotOptimize(full.matches);
+  const size_t full_candidates = matcher.last_stats().candidates;
+
+  const auto right_rows =
+      static_cast<int>(matcher.dataset().right_table.size());
+  for (auto _ : state) {
+    em::RecordDelta delta;
+    delta.upserts.reserve(static_cast<size_t>(delta_records));
+    for (int i = 0; i < delta_records; ++i) {
+      em::RecordUpsert up;
+      up.left = false;
+      up.index = (i * 37) % right_rows;
+      up.record = matcher.dataset().right_table[static_cast<size_t>(up.index)];
+      delta.upserts.push_back(std::move(up));
+    }
+    auto result = matcher.ApplyDelta(delta);
+    benchmark::DoNotOptimize(result.matches);
+  }
+  state.counters["delta"] = delta_records;
+  state.counters["candidates"] =
+      static_cast<double>(matcher.last_stats().candidates);
+  state.counters["rescored"] =
+      static_cast<double>(matcher.last_stats().rescored);
+  state.counters["reused"] = static_cast<double>(matcher.last_stats().reused);
+  state.counters["full_candidates"] = static_cast<double>(full_candidates);
+}
+BENCHMARK(BM_IncrementalMatch)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(16)
+    ->Arg(256);
 
 void BM_TdMatchPpr(benchmark::State& state) {
   data::GemDataset ds =

@@ -70,6 +70,10 @@ em::PromptEMConfig MakePromptEmConfig(Method method,
   config.self_training.prune_ratio = options.prune_ratio;
   config.self_training.prune_every = options.prune_every;
   config.self_training.mc_passes = options.mc_passes;
+  PROMPTEM_CHECK_MSG(
+      em::ParsePseudoLabelStrategy(options.pseudo_strategy,
+                                   &config.self_training.strategy),
+      "unknown pseudo-label strategy (uncertainty|confidence|clustering)");
   return config;
 }
 

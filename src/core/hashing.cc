@@ -1,0 +1,19 @@
+#include "core/hashing.h"
+
+namespace promptem::core {
+
+uint64_t Fnv1a64(const void* data, size_t n, uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= kFnv1aPrime;
+  }
+  return hash;
+}
+
+uint64_t Fnv1a64(const std::string& s, uint64_t seed) {
+  return Fnv1a64(s.data(), s.size(), seed);
+}
+
+}  // namespace promptem::core

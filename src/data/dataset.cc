@@ -1,8 +1,33 @@
 #include "data/dataset.h"
 
 #include <algorithm>
+#include <atomic>
+
+#include "core/hashing.h"
+#include "data/serializer.h"
 
 namespace promptem::data {
+
+uint64_t NextDatasetIdentity() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+uint64_t DatasetFingerprint(const GemDataset& dataset) {
+  uint64_t hash = core::kFnv1aOffset;
+  // Table sizes guard against boundary ambiguity (where the left table
+  // ends and the right begins).
+  const uint64_t sizes[2] = {dataset.left_table.size(),
+                             dataset.right_table.size()};
+  hash = core::Fnv1a64(sizes, sizeof(sizes), hash);
+  for (const auto& record : dataset.left_table) {
+    hash = core::Fnv1a64(SerializeRecord(record), hash);
+  }
+  for (const auto& record : dataset.right_table) {
+    hash = core::Fnv1a64(SerializeRecord(record), hash);
+  }
+  return hash;
+}
 
 double GemDataset::MeanAttrs(const std::vector<Record>& table) {
   if (table.empty()) return 0.0;

@@ -1,6 +1,7 @@
 #ifndef PROMPTEM_DATA_DATASET_H_
 #define PROMPTEM_DATA_DATASET_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,12 @@
 #include "data/record.h"
 
 namespace promptem::data {
+
+/// Process-unique identity token for cache keying. Every constructed
+/// GemDataset draws one, so a cache keyed on it can never confuse two
+/// datasets — unlike a raw `const GemDataset*`, which a destroy +
+/// same-address reallocation silently reuses. Never zero.
+uint64_t NextDatasetIdentity();
 
 /// Label value for candidate pairs that carry no gold label — what every
 /// Blocker emits. Distinct from 0 so downstream metrics can tell "true
@@ -37,6 +44,16 @@ struct GemDataset {
   /// Default low-resource training fraction for this benchmark (Table 1's
   /// "% rate" column).
   double default_rate = 0.10;
+
+  /// In-process cache identity. Caches (PairEncoder's encoding memo, the
+  /// incremental matcher's score cache) key entries on this instead of
+  /// the dataset's address. Copies share the originator's identity —
+  /// correct while their tables are identical; call RefreshCacheIdentity
+  /// after mutating a table in place so stale cache entries cannot be
+  /// served for the changed records.
+  uint64_t cache_identity = NextDatasetIdentity();
+
+  void RefreshCacheIdentity() { cache_identity = NextDatasetIdentity(); }
 
   const Record& Left(const PairExample& p) const {
     return left_table[static_cast<size_t>(p.left_index)];
@@ -78,6 +95,12 @@ LowResourceSplit MakeCountSplit(const GemDataset& dataset, int count,
 
 /// Fraction of positive labels in a pair list.
 double PositiveRate(const std::vector<PairExample>& pairs);
+
+/// Content fingerprint of a dataset's tables: FNV-1a over every record's
+/// serialized form (§2.2), chained left table then right. Unlike
+/// cache_identity this survives process restarts, so persisted caches key
+/// on it; it is O(corpus) to compute, so callers compute it once.
+uint64_t DatasetFingerprint(const GemDataset& dataset);
 
 }  // namespace promptem::data
 

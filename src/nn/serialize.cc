@@ -8,6 +8,7 @@
 #include <memory>
 #include <set>
 
+#include "core/hashing.h"
 #include "core/log.h"
 #include "core/string_util.h"
 
@@ -350,6 +351,22 @@ core::Status CopyParameters(const Module& source, Module* target) {
     it->second.CopyDataFrom(np.param);
   }
   return core::Status::OK();
+}
+
+uint64_t ParameterFingerprint(const Module& module) {
+  uint64_t hash = core::kFnv1aOffset;
+  for (const auto& np : module.NamedParameters()) {
+    hash = core::Fnv1a64(np.name, hash);
+    const auto& shape = np.param.shape();
+    for (int d : shape) {
+      const auto dim = static_cast<uint32_t>(d);
+      hash = core::Fnv1a64(&dim, sizeof(dim), hash);
+    }
+    hash = core::Fnv1a64(np.param.data(),
+                         static_cast<size_t>(np.param.numel()) * sizeof(float),
+                         hash);
+  }
+  return hash;
 }
 
 }  // namespace promptem::nn

@@ -37,6 +37,14 @@ core::Status LoadCheckpoint(Module* module, const std::string& path,
 /// model, and the teacher into the student).
 core::Status CopyParameters(const Module& source, Module* target);
 
+/// Content fingerprint of a module: FNV-1a over every parameter's dotted
+/// name, shape, and float32 bytes in NamedParameters order. Two modules
+/// with identical architecture and weights fingerprint identically —
+/// across processes, so deterministically-initialized models are
+/// restart-stable and persisted caches can key embeddings on the model
+/// that produced them. Any weight update changes the fingerprint.
+uint64_t ParameterFingerprint(const Module& module);
+
 }  // namespace promptem::nn
 
 #endif  // PROMPTEM_NN_SERIALIZE_H_

@@ -1,0 +1,234 @@
+#include "promptem/embed_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "core/hashing.h"
+
+namespace promptem::em {
+
+namespace {
+
+// Format "PEMEMBC1": magic, u32 endianness tag, u32 entry count, entries
+// (u64 key, u32 dim, float32 data), u64 FNV-1a hash of every preceding
+// byte. Same envelope discipline as checkpoint v2 (nn/serialize.cc): the
+// reader treats the file as adversarial input.
+constexpr char kMagic[8] = {'P', 'E', 'M', 'E', 'M', 'B', 'C', '1'};
+constexpr uint32_t kEndianTag = 0x01020304u;
+/// No real pair embedding is near this wide; caps allocation from a
+/// corrupted dim field even when the file is large.
+constexpr uint32_t kMaxDim = 1u << 20;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+/// fwrite that folds every byte into a running FNV-1a hash.
+class HashingWriter {
+ public:
+  explicit HashingWriter(std::FILE* f) : f_(f) {}
+
+  bool Write(const void* data, size_t n) {
+    hash_ = core::Fnv1a64(data, n, hash_);
+    return std::fwrite(data, 1, n, f_) == n;
+  }
+  bool WriteU32(uint32_t v) { return Write(&v, sizeof(v)); }
+  bool WriteU64(uint64_t v) { return Write(&v, sizeof(v)); }
+  uint64_t hash() const { return hash_; }
+
+ private:
+  std::FILE* f_;
+  uint64_t hash_ = core::kFnv1aOffset;
+};
+
+/// fread that tracks remaining bytes (for bounds checks) and the hash of
+/// everything consumed so far.
+class HashingReader {
+ public:
+  HashingReader(std::FILE* f, uint64_t file_size)
+      : f_(f), remaining_(file_size) {}
+
+  bool Read(void* data, size_t n) {
+    if (n > remaining_) return false;
+    if (std::fread(data, 1, n, f_) != n) return false;
+    remaining_ -= n;
+    hash_ = core::Fnv1a64(data, n, hash_);
+    return true;
+  }
+  bool ReadU32(uint32_t* v) { return Read(v, sizeof(*v)); }
+  /// Trailer read: not folded into the hash (it IS the hash).
+  bool ReadRawU64(uint64_t* v) {
+    if (sizeof(*v) > remaining_) return false;
+    if (std::fread(v, 1, sizeof(*v), f_) != sizeof(*v)) return false;
+    remaining_ -= sizeof(*v);
+    return true;
+  }
+
+  uint64_t remaining() const { return remaining_; }
+  uint64_t hash() const { return hash_; }
+
+ private:
+  std::FILE* f_;
+  uint64_t remaining_;
+  uint64_t hash_ = core::kFnv1aOffset;
+};
+
+bool FileSize(const std::string& path, uint64_t* size) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) return false;
+  const long end = std::ftell(f.get());
+  if (end < 0) return false;
+  *size = static_cast<uint64_t>(end);
+  return true;
+}
+
+}  // namespace
+
+EmbeddingCache::EmbeddingCache(size_t capacity) : cache_(capacity) {}
+
+uint64_t EmbeddingCache::ContextTag(uint64_t dataset_fingerprint,
+                                    uint64_t model_fingerprint) {
+  return core::Combine64(dataset_fingerprint, model_fingerprint);
+}
+
+uint64_t EmbeddingCache::PairKey(uint64_t context_tag, int left_index,
+                                 int right_index) {
+  const uint64_t pair =
+      (static_cast<uint64_t>(static_cast<uint32_t>(left_index)) << 32) |
+      static_cast<uint64_t>(static_cast<uint32_t>(right_index));
+  return core::Combine64(context_tag, pair);
+}
+
+core::Status EmbeddingCache::Save(const std::string& path) const {
+  // Snapshot and sort so identical cache contents always serialize to an
+  // identical byte image (ForEachLive order is shard-layout dependent).
+  std::vector<std::pair<uint64_t, std::shared_ptr<const std::vector<float>>>>
+      entries;
+  cache_.ForEachLive([&](uint64_t key,
+                         const std::shared_ptr<const std::vector<float>>& v) {
+    entries.emplace_back(key, v);
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (entries.size() > static_cast<size_t>(UINT32_MAX)) {
+    return core::Status::InvalidArgument("embedding cache too large to save");
+  }
+
+  const std::string tmp = path + ".tmp";
+  core::Status status;
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) return core::Status::IOError("cannot open for write: " + tmp);
+    HashingWriter w(f.get());
+    bool ok = w.Write(kMagic, sizeof(kMagic)) && w.WriteU32(kEndianTag) &&
+              w.WriteU32(static_cast<uint32_t>(entries.size()));
+    for (const auto& [key, value] : entries) {
+      if (!ok) break;
+      ok = w.WriteU64(key) &&
+           w.WriteU32(static_cast<uint32_t>(value->size())) &&
+           w.Write(value->data(), value->size() * sizeof(float));
+    }
+    if (ok) {
+      const uint64_t hash = w.hash();
+      ok = std::fwrite(&hash, 1, sizeof(hash), f.get()) == sizeof(hash);
+    }
+    if (ok) ok = std::fflush(f.get()) == 0;
+    if (!ok) status = core::Status::IOError("write failed: " + tmp);
+  }
+  if (!status.ok()) {
+    std::remove(tmp.c_str());
+    return status;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return core::Status::IOError("rename failed: " + path);
+  }
+  return core::Status::OK();
+}
+
+core::Status EmbeddingCache::Load(const std::string& path) {
+  uint64_t file_size = 0;
+  if (!FileSize(path, &file_size)) {
+    return core::Status::NotFound("cannot open: " + path);
+  }
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return core::Status::NotFound("cannot open: " + path);
+  HashingReader r(f.get(), file_size);
+
+  auto corrupt = [&path](const std::string& what) {
+    return core::Status::InvalidArgument("corrupt embedding cache (" + what +
+                                         "): " + path);
+  };
+
+  char magic[8];
+  if (!r.Read(magic, sizeof(magic))) return corrupt("short magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return corrupt("bad magic");
+  }
+  uint32_t endian = 0;
+  if (!r.ReadU32(&endian)) return corrupt("short endian tag");
+  if (endian != kEndianTag) return corrupt("endianness mismatch");
+  uint32_t count = 0;
+  if (!r.ReadU32(&count)) return corrupt("short count");
+  // Each entry needs at least key + dim; the trailer needs 8 more.
+  const uint64_t min_entry = sizeof(uint64_t) + sizeof(uint32_t);
+  if (static_cast<uint64_t>(count) * min_entry + sizeof(uint64_t) >
+      r.remaining()) {
+    return corrupt("count exceeds file size");
+  }
+
+  // Fully validate into a staging list before touching the cache: a file
+  // that fails any check leaves the cache exactly as it was.
+  std::vector<std::pair<uint64_t, std::vector<float>>> staged;
+  staged.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint64_t key = 0;
+    uint32_t dim = 0;
+    if (!r.Read(&key, sizeof(key)) || !r.ReadU32(&dim)) {
+      return corrupt("short entry header");
+    }
+    if (dim > kMaxDim) return corrupt("dim too large");
+    if (static_cast<uint64_t>(dim) * sizeof(float) + sizeof(uint64_t) >
+        r.remaining()) {
+      return corrupt("entry exceeds file size");
+    }
+    std::vector<float> values(dim);
+    if (!r.Read(values.data(), static_cast<size_t>(dim) * sizeof(float))) {
+      return corrupt("short entry data");
+    }
+    staged.emplace_back(key, std::move(values));
+  }
+  const uint64_t computed = r.hash();
+  uint64_t stored = 0;
+  if (!r.ReadRawU64(&stored)) return corrupt("missing checksum");
+  if (stored != computed) return corrupt("checksum mismatch");
+  if (r.remaining() != 0) return corrupt("trailing garbage");
+
+  for (auto& [key, values] : staged) {
+    cache_.Insert(key, std::move(values));
+  }
+  return core::Status::OK();
+}
+
+namespace {
+std::mutex g_embed_cache_mu;
+std::shared_ptr<EmbeddingCache> g_embed_cache;
+}  // namespace
+
+std::shared_ptr<EmbeddingCache> GetGlobalEmbeddingCache() {
+  std::lock_guard<std::mutex> lock(g_embed_cache_mu);
+  return g_embed_cache;
+}
+
+void SetGlobalEmbeddingCache(std::shared_ptr<EmbeddingCache> cache) {
+  std::lock_guard<std::mutex> lock(g_embed_cache_mu);
+  g_embed_cache = std::move(cache);
+}
+
+}  // namespace promptem::em

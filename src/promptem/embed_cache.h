@@ -1,0 +1,90 @@
+#ifndef PROMPTEM_PROMPTEM_EMBED_CACHE_H_
+#define PROMPTEM_PROMPTEM_EMBED_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/concurrent_cache.h"
+#include "core/status.h"
+
+namespace promptem::em {
+
+/// Persistent cache of per-pair embeddings (the EmbedBatch output the
+/// clustering pseudo-label strategy recomputes every self-training
+/// iteration, and a restart recomputes for the whole corpus).
+///
+/// Keys are 64-bit composites the caller builds with ContextTag/PairKey
+/// from content fingerprints — data::DatasetFingerprint for the tables,
+/// nn::ParameterFingerprint for the model that embeds them — plus the
+/// pair's table indexes. Content fingerprints survive process restarts
+/// (unlike in-process identity counters), which is what makes the
+/// persisted file useful: after a reload, the same dataset + the same
+/// deterministically-initialized model rebuild the same keys and hit.
+/// A different dataset, a different model, or an updated weight simply
+/// never hits — no explicit invalidation protocol is needed.
+///
+/// Only deterministic embeddings may be cached: the value must be a pure
+/// function of the key. MC-Dropout outputs are stochastic by design and
+/// must never go through this cache.
+class EmbeddingCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 1u << 18;
+
+  explicit EmbeddingCache(size_t capacity = kDefaultCapacity);
+
+  std::shared_ptr<const std::vector<float>> Find(uint64_t key) {
+    return cache_.Find(key);
+  }
+  void Insert(uint64_t key, std::vector<float> embedding) {
+    cache_.Insert(key, std::move(embedding));
+  }
+
+  /// Drops every entry (O(1), lazy reclamation).
+  void Invalidate() { cache_.Invalidate(); }
+
+  core::ConcurrentCache<std::vector<float>>::Stats stats() const {
+    return cache_.stats();
+  }
+  size_t LiveEntries() const { return cache_.LiveEntries(); }
+
+  /// Writes every live entry to `path` in the checkpoint-v2 envelope:
+  /// magic "PEMEMBC1", u32 endianness tag, u32 entry count, per entry a
+  /// u64 key + u32 dim + float32 data, and a trailing u64 FNV-1a hash of
+  /// every preceding byte. Atomic: written to "<path>.tmp" and renamed
+  /// over `path` only after a full flush, so an interrupted save never
+  /// leaves a partial cache file. Entries are written in sorted key order
+  /// so identical contents produce an identical file image.
+  core::Status Save(const std::string& path) const;
+
+  /// Loads entries from `path` into the cache, treating the file as
+  /// untrusted input: every count and dimension is bounds-checked against
+  /// the bytes actually remaining before any allocation, and truncation,
+  /// trailing garbage, and byte corruption all fail the checksum or the
+  /// structure checks. On any error the cache is left exactly as it was —
+  /// a corrupt file is rejected wholesale, never partially trusted.
+  core::Status Load(const std::string& path);
+
+  /// Tag identifying one (dataset, model) embedding context from
+  /// restart-stable content fingerprints.
+  static uint64_t ContextTag(uint64_t dataset_fingerprint,
+                             uint64_t model_fingerprint);
+
+  /// Key of one pair's embedding within a context.
+  static uint64_t PairKey(uint64_t context_tag, int left_index,
+                          int right_index);
+
+ private:
+  core::ConcurrentCache<std::vector<float>> cache_;
+};
+
+/// Process-global embedding cache, installed by the CLI when the user
+/// passes --embed-cache (null when absent). Returned as shared_ptr so a
+/// concurrent re-install can never free a cache under a user.
+std::shared_ptr<EmbeddingCache> GetGlobalEmbeddingCache();
+void SetGlobalEmbeddingCache(std::shared_ptr<EmbeddingCache> cache);
+
+}  // namespace promptem::em
+
+#endif  // PROMPTEM_PROMPTEM_EMBED_CACHE_H_

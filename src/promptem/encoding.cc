@@ -1,12 +1,26 @@
 #include "promptem/encoding.h"
 
+#include "core/hashing.h"
+#include "core/thread_pool.h"
 #include "data/serializer.h"
 #include "text/tokenizer.h"
 
 namespace promptem::em {
+namespace {
 
-PairEncoder::PairEncoder(const text::Vocab* vocab, int per_side_budget)
-    : vocab_(vocab), per_side_budget_(per_side_budget) {
+/// Pairs per ParallelFor chunk in EncodeAll. Encoding one pair is
+/// tokenizer-bound (tens of microseconds); 8 keeps scheduling overhead
+/// negligible while still splitting the small self-training pools.
+constexpr int64_t kEncodeGrain = 8;
+
+}  // namespace
+
+PairEncoder::PairEncoder(const text::Vocab* vocab, int per_side_budget,
+                         size_t cache_capacity)
+    : vocab_(vocab),
+      per_side_budget_(per_side_budget),
+      cache_(std::make_unique<core::ConcurrentCache<std::vector<int>>>(
+          cache_capacity)) {
   PROMPTEM_CHECK(vocab != nullptr);
   PROMPTEM_CHECK(per_side_budget > 0);
 }
@@ -23,32 +37,32 @@ void PairEncoder::FitSummarizer(const data::GemDataset& dataset) {
   tfidf_ = std::make_unique<text::TfIdf>(docs);
   // The summarizer changes how over-budget records encode; drop any
   // memoized encodings made without it.
-  cache_owner_ = nullptr;
-  left_cache_.clear();
-  right_cache_.clear();
+  InvalidateCache();
 }
 
-const std::vector<int>& PairEncoder::CachedEncode(
-    const data::GemDataset& dataset, bool left, int index) const {
-  if (cache_owner_ != &dataset) {
-    cache_owner_ = &dataset;
-    left_cache_.clear();
-    right_cache_.clear();
-    left_cache_.resize(dataset.left_table.size());
-    right_cache_.resize(dataset.right_table.size());
-  }
-  auto& cache = left ? left_cache_ : right_cache_;
-  PROMPTEM_CHECK(index >= 0 &&
-                 static_cast<size_t>(index) < cache.size());
-  auto& slot = cache[static_cast<size_t>(index)];
-  if (slot == nullptr) {
-    const data::Record& record =
-        left ? dataset.left_table[static_cast<size_t>(index)]
-             : dataset.right_table[static_cast<size_t>(index)];
-    slot = std::make_unique<std::vector<int>>(EncodeRecord(record));
-  }
-  return *slot;
+uint64_t PairEncoder::CacheKey(const data::GemDataset& dataset, bool left,
+                               int index) {
+  const uint64_t side_index =
+      (static_cast<uint64_t>(left ? 1 : 2) << 32) |
+      static_cast<uint64_t>(static_cast<uint32_t>(index));
+  return core::Combine64(dataset.cache_identity, side_index);
 }
+
+std::shared_ptr<const std::vector<int>> PairEncoder::CachedEncode(
+    const data::GemDataset& dataset, bool left, int index) const {
+  const auto& table = left ? dataset.left_table : dataset.right_table;
+  PROMPTEM_CHECK(index >= 0 && static_cast<size_t>(index) < table.size());
+  return cache_->GetOrCompute(CacheKey(dataset, left, index), [&] {
+    return EncodeRecord(table[static_cast<size_t>(index)]);
+  });
+}
+
+void PairEncoder::InvalidateRecord(const data::GemDataset& dataset, bool left,
+                                   int index) const {
+  cache_->Erase(CacheKey(dataset, left, index));
+}
+
+void PairEncoder::InvalidateCache() const { cache_->Invalidate(); }
 
 std::vector<int> PairEncoder::EncodeRecord(const data::Record& record) const {
   std::vector<std::string> tokens =
@@ -69,8 +83,8 @@ std::vector<int> PairEncoder::EncodeRecord(const data::Record& record) const {
 EncodedPair PairEncoder::Encode(const data::GemDataset& dataset,
                                 const data::PairExample& pair) const {
   EncodedPair out;
-  out.left_ids = CachedEncode(dataset, /*left=*/true, pair.left_index);
-  out.right_ids = CachedEncode(dataset, /*left=*/false, pair.right_index);
+  out.left_ids = *CachedEncode(dataset, /*left=*/true, pair.left_index);
+  out.right_ids = *CachedEncode(dataset, /*left=*/false, pair.right_index);
   out.label = pair.label;
   return out;
 }
@@ -78,9 +92,16 @@ EncodedPair PairEncoder::Encode(const data::GemDataset& dataset,
 std::vector<EncodedPair> PairEncoder::EncodeAll(
     const data::GemDataset& dataset,
     const std::vector<data::PairExample>& pairs) const {
-  std::vector<EncodedPair> out;
-  out.reserve(pairs.size());
-  for (const auto& p : pairs) out.push_back(Encode(dataset, p));
+  std::vector<EncodedPair> out(pairs.size());
+  // Per-slot writes of a pure function of pairs[i]: bitwise identical at
+  // any pool size. The memo only decides which lane pays the encode.
+  core::ParallelFor(0, static_cast<int64_t>(pairs.size()), kEncodeGrain,
+                    [&](int64_t begin, int64_t end) {
+                      for (int64_t i = begin; i < end; ++i) {
+                        out[static_cast<size_t>(i)] =
+                            Encode(dataset, pairs[static_cast<size_t>(i)]);
+                      }
+                    });
   return out;
 }
 

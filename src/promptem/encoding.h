@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/concurrent_cache.h"
 #include "data/dataset.h"
 #include "text/tfidf.h"
 #include "text/vocab.h"
@@ -25,19 +26,30 @@ struct EncodedPair {
 /// Turns records into EncodedPairs: serialize (§2.2), tokenize, and apply
 /// the Appendix-F TF-IDF summarizer when a side exceeds its token budget.
 ///
-/// Record encodings are memoized per (table side, record index): records
-/// are immutable, and self-training re-encodes the same labeled /
-/// unlabeled / valid / test pools every iteration, so each record pays
-/// for SerializeRecord + WordTokenize exactly once per dataset. The cache
-/// follows the dataset identity (and is rebuilt when FitSummarizer
-/// changes the summarizer); it never invalidates otherwise. Memoization
-/// mutates the cache under const, so a PairEncoder must be driven from
-/// one thread — which is how every trainer uses it.
+/// Record encodings are memoized per (dataset identity, side, record
+/// index) in a core::ConcurrentCache: records are immutable, and
+/// self-training re-encodes the same labeled / unlabeled / valid / test
+/// pools every iteration, so each record pays for SerializeRecord +
+/// WordTokenize once per dataset (until capacity evicts it). The memo is
+/// keyed on data::GemDataset::cache_identity — an explicit identity
+/// token, not the dataset's address, so a destroyed dataset followed by a
+/// same-address allocation can never be served stale encodings. A
+/// summarizer refit invalidates the whole memo.
+///
+/// The memo is safe under concurrent use: Encode/EncodeAll may be called
+/// from any number of threads, and EncodeAll parallelizes over the pool
+/// itself, with output bitwise identical at every pool size (encoding is
+/// a pure function of the record; the cache only decides who recomputes).
 class PairEncoder {
  public:
+  /// Bounds how many record encodings stay memoized. Two tables of any of
+  /// the GEM benchmarks fit; beyond it, CLOCK eviction keeps hot records.
+  static constexpr size_t kDefaultCacheCapacity = 1u << 16;
+
   /// `per_side_budget` bounds each record's tokens so the final model input
   /// (with template and special tokens) fits the encoder's max_seq_len.
-  PairEncoder(const text::Vocab* vocab, int per_side_budget);
+  PairEncoder(const text::Vocab* vocab, int per_side_budget,
+              size_t cache_capacity = kDefaultCacheCapacity);
 
   /// Builds corpus statistics for the summarizer from both tables.
   void FitSummarizer(const data::GemDataset& dataset);
@@ -49,29 +61,44 @@ class PairEncoder {
   EncodedPair Encode(const data::GemDataset& dataset,
                      const data::PairExample& pair) const;
 
-  /// Encodes a whole pair list.
+  /// Encodes a whole pair list. Parallelized over the pool via
+  /// core::ParallelFor; bitwise identical to the sequential loop at any
+  /// pool size.
   std::vector<EncodedPair> EncodeAll(
       const data::GemDataset& dataset,
       const std::vector<data::PairExample>& pairs) const;
+
+  /// Drops the memoized encoding of one record. Call after mutating a
+  /// record in place (the incremental matcher's upsert path); cheaper
+  /// than invalidating the whole memo.
+  void InvalidateRecord(const data::GemDataset& dataset, bool left,
+                        int index) const;
+
+  /// Drops every memoized encoding (O(1), lazy reclamation).
+  void InvalidateCache() const;
+
+  core::ConcurrentCache<std::vector<int>>::Stats cache_stats() const {
+    return cache_->stats();
+  }
 
   int per_side_budget() const { return per_side_budget_; }
   const text::Vocab& vocab() const { return *vocab_; }
 
  private:
   /// Memoized encoding of one side of `dataset` (left when `left`), keyed
-  /// by record index. Fills the slot on first use.
-  const std::vector<int>& CachedEncode(const data::GemDataset& dataset,
-                                       bool left, int index) const;
+  /// by (cache_identity, side, index). Computes on miss.
+  std::shared_ptr<const std::vector<int>> CachedEncode(
+      const data::GemDataset& dataset, bool left, int index) const;
+
+  static uint64_t CacheKey(const data::GemDataset& dataset, bool left,
+                           int index);
 
   const text::Vocab* vocab_;
   int per_side_budget_;
   std::unique_ptr<text::TfIdf> tfidf_;
 
-  /// Identity of the dataset the caches below cover; a different dataset
-  /// (or a summarizer refit) rebuilds them.
-  mutable const data::GemDataset* cache_owner_ = nullptr;
-  mutable std::vector<std::unique_ptr<std::vector<int>>> left_cache_;
-  mutable std::vector<std::unique_ptr<std::vector<int>>> right_cache_;
+  /// unique_ptr keeps PairEncoder movable (the cache owns mutexes).
+  std::unique_ptr<core::ConcurrentCache<std::vector<int>>> cache_;
 };
 
 }  // namespace promptem::em

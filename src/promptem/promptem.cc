@@ -2,6 +2,7 @@
 
 #include "core/mem_tracker.h"
 #include "core/timer.h"
+#include "nn/serialize.h"
 
 namespace promptem::em {
 
@@ -59,6 +60,7 @@ PromptEMResult PromptEM::Run(const data::GemDataset& dataset,
   EmbeddingFn embed = [](const EncodedPair&, core::Rng*) {
     return std::vector<float>();
   };
+  std::shared_ptr<EmbeddingCache> embed_cache;
   if (st.strategy == PseudoLabelStrategy::kClustering) {
     embed = [this](const EncodedPair& x, core::Rng* rng) {
       // A strategy probe uses the fine-tune pair embedding space.
@@ -71,6 +73,25 @@ PromptEMResult PromptEM::Run(const data::GemDataset& dataset,
       tensor::Tensor e = probe->PairEmbedding(x, rng);
       return std::vector<float>(e.data(), e.data() + e.numel());
     };
+    // Probe embeddings are a pure function of (LM weights, probe seed,
+    // pair), so they can ride the persistent embedding cache when one is
+    // installed: keys come from content fingerprints of the tables and
+    // of a probe built exactly like the lambda's, making them stable
+    // across restarts of the same run configuration.
+    embed_cache = GetGlobalEmbeddingCache();
+    if (embed_cache != nullptr) {
+      core::Rng probe_rng(config_.seed ^ 0xC1u);
+      FinetuneModel probe(*lm_, &probe_rng);
+      const uint64_t tag = EmbeddingCache::ContextTag(
+          data::DatasetFingerprint(dataset),
+          nn::ParameterFingerprint(*probe.AsModule()));
+      st.embed_cache = embed_cache.get();
+      st.embed_keys.reserve(split.unlabeled.size());
+      for (const auto& p : split.unlabeled) {
+        st.embed_keys.push_back(
+            EmbeddingCache::PairKey(tag, p.left_index, p.right_index));
+      }
+    }
   }
 
   PromptEMResult result;

@@ -20,6 +20,19 @@ const char* PseudoLabelStrategyName(PseudoLabelStrategy strategy) {
   return "?";
 }
 
+bool ParsePseudoLabelStrategy(const std::string& name,
+                              PseudoLabelStrategy* out) {
+  for (PseudoLabelStrategy s : {PseudoLabelStrategy::kUncertainty,
+                                PseudoLabelStrategy::kConfidence,
+                                PseudoLabelStrategy::kClustering}) {
+    if (name == PseudoLabelStrategyName(s)) {
+      *out = s;
+      return true;
+    }
+  }
+  return false;
+}
+
 void KMeans(const std::vector<std::vector<float>>& points, int k,
             int iterations, core::Rng* rng, std::vector<int>* assignment,
             std::vector<double>* distance) {
@@ -88,10 +101,12 @@ void KMeans(const std::vector<std::vector<float>>& points, int k,
 PseudoLabelResult SelectPseudoLabels(
     PairClassifier* teacher, const std::vector<EncodedPair>& unlabeled,
     PseudoLabelStrategy strategy, double ratio, int mc_passes,
-    core::Rng* rng, const EmbeddingFn& embed) {
+    core::Rng* rng, const EmbeddingFn& embed, EmbeddingCache* embed_cache,
+    const std::vector<uint64_t>& embed_keys) {
   PseudoLabelResult result;
   if (unlabeled.empty()) return result;
   PROMPTEM_CHECK(ratio > 0.0 && ratio <= 1.0);
+  PROMPTEM_CHECK(embed_keys.empty() || embed_keys.size() == unlabeled.size());
 
   const size_t n = unlabeled.size();
   const size_t n_p =
@@ -121,7 +136,7 @@ PseudoLabelResult SelectPseudoLabels(
       std::vector<uint64_t> seeds(n);
       for (auto& s : seeds) s = rng->NextU64();
       const std::vector<std::vector<float>> points =
-          EmbedBatch(embed, unlabeled, seeds);
+          EmbedBatchCached(embed, unlabeled, seeds, embed_cache, embed_keys);
       std::vector<int> assignment;
       std::vector<double> distance;
       KMeans(points, /*k=*/2, /*iterations=*/10, rng, &assignment,

@@ -2,7 +2,9 @@
 #define PROMPTEM_PROMPTEM_PSEUDO_LABELS_H_
 
 #include <functional>
+#include <string>
 
+#include "promptem/embed_cache.h"
 #include "promptem/uncertainty.h"
 
 namespace promptem::em {
@@ -15,6 +17,11 @@ enum class PseudoLabelStrategy {
 };
 
 const char* PseudoLabelStrategyName(PseudoLabelStrategy strategy);
+
+/// Inverse of PseudoLabelStrategyName. Returns false (leaving `out`
+/// untouched) for unknown names, so callers can report the bad value.
+bool ParsePseudoLabelStrategy(const std::string& name,
+                              PseudoLabelStrategy* out);
 
 /// Produces a [1, dim]-style flat embedding for one pair (clustering).
 using EmbeddingFn =
@@ -32,10 +39,18 @@ struct PseudoLabelResult {
 
 /// Selects N_P = ratio * |unlabeled| pseudo-labels with the given strategy
 /// (Eq. 2 for uncertainty). `embed` is required for kClustering.
+///
+/// When `embed_cache` is set (with `embed_keys[i]` naming unlabeled[i]'s
+/// embedding — see EmbeddingCache's key builders), the kClustering path
+/// reuses cached embeddings and only embeds misses; the MC-Dropout
+/// estimates are stochastic and always recomputed. Selection is bitwise
+/// identical with or without the cache.
 PseudoLabelResult SelectPseudoLabels(
     PairClassifier* teacher, const std::vector<EncodedPair>& unlabeled,
     PseudoLabelStrategy strategy, double ratio, int mc_passes,
-    core::Rng* rng, const EmbeddingFn& embed = nullptr);
+    core::Rng* rng, const EmbeddingFn& embed = nullptr,
+    EmbeddingCache* embed_cache = nullptr,
+    const std::vector<uint64_t>& embed_keys = {});
 
 /// Plain k-means (Lloyd's); returns per-point cluster assignment and the
 /// distance to the assigned centroid. Deterministic given the rng.

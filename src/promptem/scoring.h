@@ -6,6 +6,8 @@
 #include <functional>
 #include <vector>
 
+#include "core/concurrent_cache.h"
+#include "promptem/embed_cache.h"
 #include "promptem/trainer.h"
 #include "tensor/quant.h"
 
@@ -105,6 +107,27 @@ std::vector<std::vector<float>> EmbedBatch(const PairEmbedFn& embed,
                                            const std::vector<EncodedPair>& xs,
                                            const std::vector<uint64_t>& seeds =
                                                {});
+
+/// Cached variants of the deterministic eval sweeps. `keys[i]` names
+/// xs[i]'s result in the cache (a composite over dataset/model
+/// fingerprints and the pair's table indexes — see EmbeddingCache's key
+/// builders); only misses go through the engine, and every computed value
+/// is inserted for the next sweep. Because eval forwards are pure
+/// functions of the input (per-sample rng draws are unused), output is
+/// bitwise identical to the uncached sweep at any pool size and any cache
+/// state. Stochastic paths (ScoreBatchStochastic, MC-Dropout) have no
+/// cached variant by design: their outputs are not pure in the key.
+///
+/// `cache == nullptr` (or empty `keys`) degrades to the uncached sweep.
+std::vector<ProbPair> ScoreBatchCached(
+    PairClassifier* model, const std::vector<EncodedPair>& xs,
+    core::ConcurrentCache<ProbPair>* cache,
+    const std::vector<uint64_t>& keys);
+
+std::vector<std::vector<float>> EmbedBatchCached(
+    const PairEmbedFn& embed, const std::vector<EncodedPair>& xs,
+    const std::vector<uint64_t>& seeds, EmbeddingCache* cache,
+    const std::vector<uint64_t>& keys);
 
 /// Softmax over a [1, 2] logits tensor — the shared tail of every binary
 /// Probs implementation.

@@ -107,6 +107,9 @@ std::unique_ptr<PairClassifier> RunSelfTraining(
 
   std::vector<EncodedPair> d_l = labeled;
   std::vector<EncodedPair> d_u = unlabeled;
+  // Embedding-cache keys stay index-aligned with the shrinking d_u.
+  std::vector<uint64_t> u_keys = config.embed_keys;
+  PROMPTEM_CHECK(u_keys.empty() || u_keys.size() == d_u.size());
 
   TrainOptions teacher_options = config.teacher_options;
   if (teacher_options.run_name.empty()) teacher_options.run_name = "teacher";
@@ -145,7 +148,8 @@ std::unique_ptr<PairClassifier> RunSelfTraining(
       stats->pseudo = SelectPseudoLabels(teacher.get(), d_u,
                                          config.strategy,
                                          config.pseudo_ratio,
-                                         config.mc_passes, &rng, embed);
+                                         config.mc_passes, &rng, embed,
+                                         config.embed_cache, u_keys);
       std::vector<bool> taken(d_u.size(), false);
       for (size_t i = 0; i < stats->pseudo.indices.size(); ++i) {
         const int idx = stats->pseudo.indices[i];
@@ -155,11 +159,16 @@ std::unique_ptr<PairClassifier> RunSelfTraining(
         taken[static_cast<size_t>(idx)] = true;
       }
       std::vector<EncodedPair> remaining;
+      std::vector<uint64_t> remaining_keys;
       remaining.reserve(d_u.size());
       for (size_t i = 0; i < d_u.size(); ++i) {
-        if (!taken[i]) remaining.push_back(std::move(d_u[i]));
+        if (!taken[i]) {
+          remaining.push_back(std::move(d_u[i]));
+          if (!u_keys.empty()) remaining_keys.push_back(u_keys[i]);
+        }
       }
       d_u = std::move(remaining);
+      u_keys = std::move(remaining_keys);
     }
 
     // Student phase with dynamic data pruning (lines 9-15).

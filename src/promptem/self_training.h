@@ -25,6 +25,12 @@ struct SelfTrainingConfig {
   bool use_pruning = true;        ///< DDP switch (ablation w/o DDP)
   PseudoLabelStrategy strategy = PseudoLabelStrategy::kUncertainty;
   uint64_t seed = 23;
+  /// Optional embedding cache for the kClustering strategy. `embed_keys`
+  /// is parallel to RunSelfTraining's `unlabeled` argument (one key per
+  /// pair, built with EmbeddingCache's key builders); the driver keeps
+  /// the surviving keys aligned as pseudo-labeled pairs leave D_U.
+  EmbeddingCache* embed_cache = nullptr;
+  std::vector<uint64_t> embed_keys;
 };
 
 /// Observability for the benchmark tables.

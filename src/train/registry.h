@@ -29,6 +29,11 @@ struct RunOptions {
   double pseudo_ratio = 0.10;  ///< u_r
   double prune_ratio = 0.20;   ///< e_r
   int prune_every = 2;
+  /// Pseudo-label selection for PromptEM: "uncertainty" (paper default),
+  /// "confidence", or "clustering" (the strategy that consults the
+  /// persistent embedding cache). Kept as a string so this header stays
+  /// matcher-agnostic; MakePromptEmConfig parses and rejects typos.
+  std::string pseudo_strategy = "uncertainty";
 };
 
 /// Everything a matcher needs to train and predict on one benchmark

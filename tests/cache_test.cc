@@ -1,0 +1,700 @@
+// Tests for the record-cache layer (DESIGN.md §13): core::ConcurrentCache
+// semantics under capacity pressure and concurrent use, the PairEncoder
+// memo's bitwise neutrality at every pool size / cache state / capacity,
+// cached scoring and embedding sweeps' parity with their uncached twins,
+// the EmbeddingCache save/load round-trip, and IncrementalMatcher's
+// delta-equals-full contract with O(delta) re-scoring.
+//
+// The contract everywhere: a cache may only change who computes, never
+// what is computed — every comparison below is exact (bitwise) equality.
+// Runs under the `cache` ctest label and both sanitizer wirings.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/concurrent_cache.h"
+#include "core/hashing.h"
+#include "core/rng.h"
+#include "core/thread_pool.h"
+#include "data/benchmarks.h"
+#include "data/blocking.h"
+#include "data/synthetic.h"
+#include "lm/pretrained_lm.h"
+#include "pipeline/incremental.h"
+#include "promptem/embed_cache.h"
+#include "promptem/encoding.h"
+#include "promptem/finetune_model.h"
+#include "promptem/promptem.h"
+#include "promptem/scoring.h"
+
+namespace promptem {
+namespace {
+
+namespace fs = std::filesystem;
+
+const lm::PretrainedLM& FixtureLM() {
+  static const lm::PretrainedLM* kLm = [] {
+    auto loaded =
+        lm::PretrainedLM::Load("tests/data/promptem_integration_lm");
+    if (!loaded.ok()) {
+      std::fprintf(stderr,
+                   "fixture LM missing (%s); tests must run from the repo "
+                   "root\n",
+                   loaded.status().ToString().c_str());
+      std::abort();
+    }
+    return loaded.value().release();
+  }();
+  return *kLm;
+}
+
+/// Pool-size override scoped to one expression.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) : saved_(core::GetNumThreads()) {
+    core::SetNumThreads(n);
+  }
+  ~ScopedThreads() { core::SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+bool SameEncoded(const std::vector<em::EncodedPair>& a,
+                 const std::vector<em::EncodedPair>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].left_ids != b[i].left_ids || a[i].right_ids != b[i].right_ids ||
+        a[i].label != b[i].label) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// core::ConcurrentCache semantics.
+// ---------------------------------------------------------------------------
+
+TEST(ConcurrentCacheTest, FindMissThenInsertHit) {
+  core::ConcurrentCache<int> cache(16);
+  EXPECT_EQ(cache.Find(7u), nullptr);
+  cache.Insert(7u, 42);
+  auto hit = cache.Find(7u);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 42);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ConcurrentCacheTest, FirstInsertWinsForSameKey) {
+  // Duplicate inserts keep the existing value (callers cache pure
+  // functions of the key, so a racing double-compute is bitwise
+  // identical; first-wins makes the race harmless and cheap).
+  core::ConcurrentCache<int> cache(16);
+  auto first = cache.Insert(7u, 1);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(*first, 1);
+  auto second = cache.Insert(7u, 2);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(*second, 1);
+  auto hit = cache.Find(7u);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 1);
+  EXPECT_EQ(cache.LiveEntries(), 1u);
+  // Erase + reinsert is the way to replace a value.
+  cache.Erase(7u);
+  cache.Insert(7u, 2);
+  EXPECT_EQ(*cache.Find(7u), 2);
+}
+
+TEST(ConcurrentCacheTest, CapacityBoundHolds) {
+  // One shard so the bound is exact, not per-shard.
+  core::ConcurrentCache<int> cache(16, 1);
+  for (uint64_t k = 0; k < 128; ++k) {
+    cache.Insert(k, static_cast<int>(k));
+  }
+  EXPECT_LE(cache.LiveEntries(), 16u);
+  EXPECT_GE(cache.stats().evictions, 128u - 16u);
+  // Whatever survived must still map key -> value correctly.
+  size_t found = 0;
+  for (uint64_t k = 0; k < 128; ++k) {
+    if (auto hit = cache.Find(k)) {
+      EXPECT_EQ(*hit, static_cast<int>(k));
+      ++found;
+    }
+  }
+  EXPECT_GT(found, 0u);
+  EXPECT_LE(found, 16u);
+}
+
+TEST(ConcurrentCacheTest, ClockKeepsHotEntryUnderPressure) {
+  core::ConcurrentCache<int> cache(8, 1);
+  const uint64_t hot = 9999u;
+  cache.Insert(hot, -1);
+  for (uint64_t k = 0; k < 256; ++k) {
+    cache.Insert(k, static_cast<int>(k));
+    // Re-reference the hot key every step: second-chance eviction must
+    // pass over it while cold fillers churn.
+    auto hit = cache.Find(hot);
+    ASSERT_NE(hit, nullptr) << "hot entry evicted after filler " << k;
+    EXPECT_EQ(*hit, -1);
+  }
+}
+
+TEST(ConcurrentCacheTest, InvalidateDropsEverything) {
+  core::ConcurrentCache<int> cache(32);
+  for (uint64_t k = 0; k < 20; ++k) cache.Insert(k, static_cast<int>(k));
+  EXPECT_GT(cache.LiveEntries(), 0u);
+  cache.Invalidate();
+  EXPECT_EQ(cache.LiveEntries(), 0u);
+  for (uint64_t k = 0; k < 20; ++k) EXPECT_EQ(cache.Find(k), nullptr);
+  // The cache stays usable after invalidation.
+  cache.Insert(3u, 33);
+  auto hit = cache.Find(3u);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 33);
+}
+
+TEST(ConcurrentCacheTest, EraseKeepsOtherEntriesReachable) {
+  // Single shard, capacity above the insert count: every entry stays
+  // resident, so this exercises backward-shift deletion's probe repair.
+  core::ConcurrentCache<int> cache(64, 1);
+  for (uint64_t k = 0; k < 48; ++k) cache.Insert(k, static_cast<int>(k));
+  for (uint64_t k = 0; k < 48; k += 2) cache.Erase(k);
+  for (uint64_t k = 0; k < 48; ++k) {
+    auto hit = cache.Find(k);
+    if (k % 2 == 0) {
+      EXPECT_EQ(hit, nullptr) << "erased key " << k << " still found";
+    } else {
+      ASSERT_NE(hit, nullptr) << "key " << k << " lost after erases";
+      EXPECT_EQ(*hit, static_cast<int>(k));
+    }
+  }
+}
+
+TEST(ConcurrentCacheTest, GetOrComputeComputesOnceThenHits) {
+  core::ConcurrentCache<int> cache(16);
+  int computes = 0;
+  for (int round = 0; round < 3; ++round) {
+    auto value = cache.GetOrCompute(5u, [&] {
+      ++computes;
+      return 55;
+    });
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(*value, 55);
+  }
+  EXPECT_EQ(computes, 1);
+}
+
+TEST(ConcurrentCacheTest, ConcurrentInsertFindTortureIsCoherent) {
+  // Self-validating values (value == f(key)): whatever interleaving the
+  // pool produces, a Find may only ever observe the one correct value.
+  // This is the suite's TSan target.
+  core::ConcurrentCache<uint64_t> cache(512);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&cache, t] {
+      core::Rng rng(static_cast<uint64_t>(t) + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t key = rng.NextU64(1024);
+        switch (rng.NextU64(8)) {
+          case 0:
+            cache.Erase(key);
+            break;
+          case 1:
+            if (auto hit = cache.Find(key)) {
+              ASSERT_EQ(*hit, core::Mix64(key));
+            }
+            break;
+          case 2:
+            if (t == 0 && i % 4096 == 0) {
+              cache.Invalidate();
+            }
+            break;
+          default: {
+            auto value =
+                cache.GetOrCompute(key, [key] { return core::Mix64(key); });
+            ASSERT_NE(value, nullptr);
+            ASSERT_EQ(*value, core::Mix64(key));
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (uint64_t key = 0; key < 1024; ++key) {
+    if (auto hit = cache.Find(key)) {
+      EXPECT_EQ(*hit, core::Mix64(key));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PairEncoder memo: parallel EncodeAll must be bitwise neutral.
+// ---------------------------------------------------------------------------
+
+data::GemDataset EncoderDataset() {
+  return data::GenerateBenchmark(data::BenchmarkKind::kSemiHomo, 42);
+}
+
+std::vector<data::PairExample> EncoderPool(const data::GemDataset& ds) {
+  std::vector<data::PairExample> pool = ds.train;
+  pool.insert(pool.end(), ds.valid.begin(), ds.valid.end());
+  return pool;
+}
+
+TEST(PairEncoderCacheTest, EncodeAllPoolSizeInvariant) {
+  const data::GemDataset ds = EncoderDataset();
+  const std::vector<data::PairExample> pool = EncoderPool(ds);
+  ASSERT_FALSE(pool.empty());
+  std::vector<em::EncodedPair> baseline;
+  {
+    ScopedThreads scoped(1);
+    em::PairEncoder encoder = em::MakePairEncoder(FixtureLM(), ds);
+    baseline = encoder.EncodeAll(ds, pool);
+  }
+  for (int threads : {2, 3, 8}) {
+    ScopedThreads scoped(threads);
+    em::PairEncoder encoder = em::MakePairEncoder(FixtureLM(), ds);
+    // Cold memo.
+    EXPECT_TRUE(SameEncoded(encoder.EncodeAll(ds, pool), baseline))
+        << "cold encode differs at " << threads << " threads";
+    // Warm memo (every record hits).
+    EXPECT_TRUE(SameEncoded(encoder.EncodeAll(ds, pool), baseline))
+        << "warm encode differs at " << threads << " threads";
+    EXPECT_GT(encoder.cache_stats().hits, 0u);
+  }
+}
+
+TEST(PairEncoderCacheTest, TinyCapacityStillBitwiseCorrect) {
+  const data::GemDataset ds = EncoderDataset();
+  const std::vector<data::PairExample> pool = EncoderPool(ds);
+  em::PairEncoder reference = em::MakePairEncoder(FixtureLM(), ds);
+  const std::vector<em::EncodedPair> baseline =
+      reference.EncodeAll(ds, pool);
+  // Capacity 4 cannot hold even one chunk's records: constant eviction,
+  // identical output.
+  em::PairEncoder tiny(&FixtureLM().vocab(), reference.per_side_budget(), 4);
+  tiny.FitSummarizer(ds);
+  ScopedThreads scoped(4);
+  EXPECT_TRUE(SameEncoded(tiny.EncodeAll(ds, pool), baseline));
+  EXPECT_TRUE(SameEncoded(tiny.EncodeAll(ds, pool), baseline));
+  EXPECT_GT(tiny.cache_stats().evictions, 0u);
+}
+
+TEST(PairEncoderCacheTest, IdentityTokenPreventsStaleServing) {
+  const text::Vocab& vocab = FixtureLM().vocab();
+  em::PairEncoder encoder(&vocab, 32);
+  const data::PairExample pair{0, 0, 1};
+
+  auto make_ds = [](const std::string& title) {
+    data::GemDataset ds;
+    ds.left_table.push_back(
+        data::Record::Relational({{"title", data::Value::Str(title)}}));
+    ds.right_table.push_back(
+        data::Record::Relational({{"title", data::Value::Str("anchor")}}));
+    return ds;
+  };
+
+  // Encode against a dataset, destroy it, then encode a different record
+  // through a fresh (possibly same-address) dataset: the identity token
+  // must keep the memo entries apart.
+  em::EncodedPair first;
+  {
+    data::GemDataset ds1 = make_ds("alpha beta gamma");
+    first = encoder.Encode(ds1, pair);
+  }
+  data::GemDataset ds2 = make_ds("delta epsilon");
+  const em::EncodedPair second = encoder.Encode(ds2, pair);
+  em::PairEncoder fresh(&vocab, 32);
+  const em::EncodedPair expected = fresh.Encode(ds2, pair);
+  EXPECT_EQ(second.left_ids, expected.left_ids);
+  EXPECT_NE(second.left_ids, first.left_ids);
+
+  // A copy shares identity (tables identical), so it hits the same
+  // entries; after an in-place edit, RefreshCacheIdentity must stop the
+  // stale encoding from being served.
+  data::GemDataset ds3 = ds2;
+  EXPECT_EQ(ds3.cache_identity, ds2.cache_identity);
+  ds3.left_table[0] =
+      data::Record::Relational({{"title", data::Value::Str("zeta eta")}});
+  ds3.RefreshCacheIdentity();
+  const em::EncodedPair edited = encoder.Encode(ds3, pair);
+  em::PairEncoder fresh2(&vocab, 32);
+  EXPECT_EQ(edited.left_ids, fresh2.Encode(ds3, pair).left_ids);
+
+  // In-place mutation without a new identity: InvalidateRecord is the
+  // targeted escape hatch (the incremental matcher's upsert path).
+  ds3.left_table[0] =
+      data::Record::Relational({{"title", data::Value::Str("theta iota")}});
+  encoder.InvalidateRecord(ds3, /*left=*/true, 0);
+  const em::EncodedPair mutated = encoder.Encode(ds3, pair);
+  em::PairEncoder fresh3(&vocab, 32);
+  EXPECT_EQ(mutated.left_ids, fresh3.Encode(ds3, pair).left_ids);
+}
+
+// ---------------------------------------------------------------------------
+// Cached scoring/embedding sweeps: bitwise parity with the uncached twins.
+// ---------------------------------------------------------------------------
+
+std::vector<em::EncodedPair> ScoringFixture(const data::GemDataset& ds,
+                                            size_t n) {
+  em::PairEncoder encoder = em::MakePairEncoder(FixtureLM(), ds);
+  std::vector<data::PairExample> pool = EncoderPool(ds);
+  pool.resize(std::min(pool.size(), n));
+  return encoder.EncodeAll(ds, pool);
+}
+
+TEST(CachedScoringTest, ScoreBatchCachedBitwiseParity) {
+  const data::GemDataset ds = EncoderDataset();
+  const std::vector<em::EncodedPair> xs = ScoringFixture(ds, 12);
+  ASSERT_FALSE(xs.empty());
+  core::Rng rng(5);
+  em::FinetuneModel model(FixtureLM(), &rng);
+  std::vector<em::ProbPair> baseline;
+  {
+    ScopedThreads scoped(1);
+    baseline = em::ScoreBatch(&model, xs);
+  }
+  std::vector<uint64_t> keys(xs.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = core::Combine64(0xABCDu, i);
+  }
+  // Null cache / empty keys degrade to the uncached sweep.
+  EXPECT_EQ(em::ScoreBatchCached(&model, xs, nullptr, keys), baseline);
+  for (int threads : {1, 3}) {
+    ScopedThreads scoped(threads);
+    core::ConcurrentCache<em::ProbPair> cache(1u << 10);
+    // Cold (all miss), warm (all hit), and partial (prefix pre-filled).
+    EXPECT_EQ(em::ScoreBatchCached(&model, xs, &cache, keys), baseline)
+        << "cold at " << threads << " threads";
+    EXPECT_EQ(em::ScoreBatchCached(&model, xs, &cache, keys), baseline)
+        << "warm at " << threads << " threads";
+    EXPECT_EQ(cache.stats().hits, xs.size());
+    core::ConcurrentCache<em::ProbPair> partial(1u << 10);
+    const std::vector<em::EncodedPair> half(xs.begin(),
+                                            xs.begin() + xs.size() / 2);
+    const std::vector<uint64_t> half_keys(keys.begin(),
+                                          keys.begin() + half.size());
+    em::ScoreBatchCached(&model, half, &partial, half_keys);
+    EXPECT_EQ(em::ScoreBatchCached(&model, xs, &partial, keys), baseline)
+        << "partial at " << threads << " threads";
+  }
+  // Eviction-under-capacity: a 2-slot cache cannot hold the batch, and
+  // must not change a single bit of the output.
+  core::ConcurrentCache<em::ProbPair> tiny(2);
+  EXPECT_EQ(em::ScoreBatchCached(&model, xs, &tiny, keys), baseline);
+  EXPECT_EQ(em::ScoreBatchCached(&model, xs, &tiny, keys), baseline);
+  EXPECT_GT(tiny.stats().evictions, 0u);
+}
+
+TEST(CachedScoringTest, EmbedBatchCachedBitwiseParity) {
+  const data::GemDataset ds = EncoderDataset();
+  const std::vector<em::EncodedPair> xs = ScoringFixture(ds, 10);
+  ASSERT_FALSE(xs.empty());
+  core::Rng rng(6);
+  em::FinetuneModel probe(FixtureLM(), &rng);
+  probe.Eval();
+  const em::PairEmbedFn embed = [&probe](const em::EncodedPair& x,
+                                         core::Rng* r) {
+    tensor::Tensor e = probe.PairEmbedding(x, r);
+    return std::vector<float>(e.data(), e.data() + e.numel());
+  };
+  std::vector<std::vector<float>> baseline;
+  {
+    ScopedThreads scoped(1);
+    baseline = em::EmbedBatch(embed, xs);
+  }
+  const uint64_t tag = em::EmbeddingCache::ContextTag(
+      data::DatasetFingerprint(ds), 0x77u);
+  std::vector<uint64_t> keys(xs.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    keys[i] = em::EmbeddingCache::PairKey(tag, static_cast<int>(i), 0);
+  }
+  EXPECT_EQ(em::EmbedBatchCached(embed, xs, {}, nullptr, keys), baseline);
+  for (int threads : {1, 3}) {
+    ScopedThreads scoped(threads);
+    em::EmbeddingCache cache(1u << 10);
+    EXPECT_EQ(em::EmbedBatchCached(embed, xs, {}, &cache, keys), baseline)
+        << "cold at " << threads << " threads";
+    EXPECT_EQ(em::EmbedBatchCached(embed, xs, {}, &cache, keys), baseline)
+        << "warm at " << threads << " threads";
+    EXPECT_EQ(cache.stats().hits, xs.size());
+  }
+  em::EmbeddingCache tiny(2);
+  EXPECT_EQ(em::EmbedBatchCached(embed, xs, {}, &tiny, keys), baseline);
+  EXPECT_EQ(em::EmbedBatchCached(embed, xs, {}, &tiny, keys), baseline);
+  EXPECT_GT(tiny.stats().evictions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// EmbeddingCache persistence (the corruption sweep lives in
+// fault_injection_test.cc; this is the happy path).
+// ---------------------------------------------------------------------------
+
+TEST(EmbeddingCacheTest, SaveLoadRoundTripIsBitwise) {
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "cache_test_roundtrip.embcache")
+          .string();
+  fs::remove(path);
+  em::EmbeddingCache cache(64);
+  const uint64_t tag = em::EmbeddingCache::ContextTag(0x1111u, 0x2222u);
+  core::Rng rng(9);
+  std::vector<std::pair<uint64_t, std::vector<float>>> entries;
+  for (int i = 0; i < 9; ++i) {
+    std::vector<float> v(static_cast<size_t>(i));  // includes dim 0
+    for (auto& f : v) f = rng.Gaussian();
+    const uint64_t key = em::EmbeddingCache::PairKey(tag, i, i * 3 + 1);
+    cache.Insert(key, v);
+    entries.emplace_back(key, std::move(v));
+  }
+  ASSERT_TRUE(cache.Save(path).ok());
+  em::EmbeddingCache loaded(64);
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.LiveEntries(), entries.size());
+  for (const auto& [key, v] : entries) {
+    auto hit = loaded.Find(key);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, v);  // float-exact
+  }
+  // Identical contents produce an identical byte image (sorted key order).
+  const std::string path2 = path + ".again";
+  ASSERT_TRUE(loaded.Save(path2).ok());
+  std::ifstream a(path, std::ios::binary), b(path2, std::ios::binary);
+  const std::string bytes_a((std::istreambuf_iterator<char>(a)),
+                            std::istreambuf_iterator<char>());
+  const std::string bytes_b((std::istreambuf_iterator<char>(b)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes_a, bytes_b);
+  fs::remove(path);
+  fs::remove(path2);
+}
+
+TEST(EmbeddingCacheTest, LoadMissingFileIsNotFound) {
+  em::EmbeddingCache cache(16);
+  core::Status st = cache.Load(
+      (fs::path(::testing::TempDir()) / "no_such.embcache").string());
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), core::StatusCode::kNotFound);
+}
+
+TEST(EmbeddingCacheTest, KeysAreRestartStableComposites) {
+  // Same fingerprints -> same keys (what makes persistence useful);
+  // any differing component -> different keys (what makes it safe).
+  const uint64_t tag = em::EmbeddingCache::ContextTag(1u, 2u);
+  EXPECT_EQ(tag, em::EmbeddingCache::ContextTag(1u, 2u));
+  EXPECT_NE(tag, em::EmbeddingCache::ContextTag(2u, 1u));
+  EXPECT_EQ(em::EmbeddingCache::PairKey(tag, 3, 4),
+            em::EmbeddingCache::PairKey(tag, 3, 4));
+  EXPECT_NE(em::EmbeddingCache::PairKey(tag, 3, 4),
+            em::EmbeddingCache::PairKey(tag, 4, 3));
+  EXPECT_NE(em::EmbeddingCache::PairKey(tag, 3, 4),
+            em::EmbeddingCache::PairKey(
+                em::EmbeddingCache::ContextTag(1u, 3u), 3, 4));
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalMatcher: delta re-match == full re-match, at O(delta) cost.
+// ---------------------------------------------------------------------------
+
+em::ChunkScoreFn HashStubScorer() {
+  return [](const std::vector<data::PairExample>& chunk) {
+    std::vector<em::ProbPair> probs(chunk.size());
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      const uint64_t h =
+          ((static_cast<uint64_t>(
+                static_cast<uint32_t>(chunk[i].left_index))
+            << 32) ^
+           static_cast<uint32_t>(chunk[i].right_index)) *
+          0x9E3779B97F4A7C15ULL;
+      const float pos = static_cast<float>((h >> 40) & 0xFFFF) / 65535.0f;
+      probs[i] = {1.0f - pos, pos};
+    }
+    return probs;
+  };
+}
+
+data::GemDataset SyntheticDataset() {
+  data::SyntheticTableOptions options;
+  options.rows = 300;
+  options.seed = 42;
+  data::SyntheticTables tables = data::GenerateSyntheticTables(options);
+  data::GemDataset ds;
+  ds.left_table = std::move(tables.left);
+  ds.right_table = std::move(tables.right);
+  return ds;
+}
+
+std::unique_ptr<em::IncrementalMatcher> MakeMatcher(data::GemDataset ds) {
+  const em::IncrementalMatcher::ScorerFactory scorer =
+      [](const data::GemDataset&) { return HashStubScorer(); };
+  em::IncrementalMatcher::BlockerFactory blocker =
+      [](const data::GemDataset& d) {
+        return std::unique_ptr<data::Blocker>(
+            std::make_unique<data::MinHashBlocker>(d.left_table,
+                                                   d.right_table));
+      };
+  return std::make_unique<em::IncrementalMatcher>(std::move(ds), scorer,
+                                                  std::move(blocker));
+}
+
+bool SameResult(const em::MatchPipelineResult& a,
+                const em::MatchPipelineResult& b) {
+  if (a.candidates != b.candidates || a.matches != b.matches ||
+      a.top_matches.size() != b.top_matches.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.top_matches.size(); ++i) {
+    if (a.top_matches[i].left_index != b.top_matches[i].left_index ||
+        a.top_matches[i].right_index != b.top_matches[i].right_index ||
+        a.top_matches[i].pos_prob != b.top_matches[i].pos_prob) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(IncrementalMatcherTest, UpsertDeltaEqualsFullRematch) {
+  data::GemDataset ds = SyntheticDataset();
+  auto matcher = MakeMatcher(ds);  // copies ds
+  matcher->FullMatch();
+
+  // Replace three right records and one left record with other records'
+  // content (a real edit), and append one new right record; mirror every
+  // edit on the local copy.
+  em::RecordDelta delta;
+  for (int i : {5, 40, 111}) {
+    em::RecordUpsert up;
+    up.left = false;
+    up.index = i;
+    up.record = ds.right_table[static_cast<size_t>(i + 1)];
+    ds.right_table[static_cast<size_t>(i)] = up.record;
+    delta.upserts.push_back(std::move(up));
+  }
+  {
+    em::RecordUpsert up;
+    up.left = true;
+    up.index = 17;
+    up.record = ds.left_table[200];
+    ds.left_table[17] = up.record;
+    delta.upserts.push_back(std::move(up));
+  }
+  {
+    em::RecordUpsert up;
+    up.left = false;
+    up.index = static_cast<int>(ds.right_table.size());
+    up.record = ds.right_table[0];
+    ds.right_table.push_back(up.record);
+    delta.upserts.push_back(std::move(up));
+  }
+
+  const em::MatchPipelineResult incremental = matcher->ApplyDelta(delta);
+  EXPECT_EQ(matcher->last_stats().changed_records, 5u);
+  EXPECT_EQ(matcher->last_stats().reused + matcher->last_stats().rescored,
+            matcher->last_stats().candidates);
+  // The point of the exercise: almost everything was served from cache.
+  EXPECT_LT(matcher->last_stats().rescored,
+            matcher->last_stats().candidates / 4);
+  EXPECT_GT(matcher->last_stats().reused, 0u);
+
+  // A from-scratch matcher over the mutated tables must agree exactly.
+  auto fresh = MakeMatcher(std::move(ds));
+  const em::MatchPipelineResult full = fresh->FullMatch();
+  EXPECT_TRUE(SameResult(incremental, full));
+}
+
+TEST(IncrementalMatcherTest, SameContentUpsertRescoresExactlyTouchedPairs) {
+  auto matcher = MakeMatcher(SyntheticDataset());
+  const em::MatchPipelineResult before = matcher->FullMatch();
+  const size_t full_candidates = matcher->last_stats().candidates;
+  ASSERT_GT(full_candidates, 0u);
+
+  // Upsert one right record with its own unchanged content: the blocker
+  // stream is identical, so the re-match must re-score exactly the
+  // candidates touching that record — its version changed — and reuse
+  // every other score.
+  const int target = 123;
+  em::RecordDelta delta;
+  em::RecordUpsert up;
+  up.left = false;
+  up.index = target;
+  up.record = matcher->dataset().right_table[static_cast<size_t>(target)];
+  delta.upserts.push_back(std::move(up));
+  const em::MatchPipelineResult after = matcher->ApplyDelta(delta);
+
+  EXPECT_TRUE(SameResult(after, before));
+  const em::DeltaStats& stats = matcher->last_stats();
+  EXPECT_EQ(stats.candidates, full_candidates);
+  EXPECT_EQ(stats.reused + stats.rescored, stats.candidates);
+  // O(delta · candidates-per-record): count the touched candidates with a
+  // second identical delta and an observer.
+  size_t touched = 0;
+  em::RecordDelta again;
+  again.upserts.push_back(
+      {false, target,
+       matcher->dataset().right_table[static_cast<size_t>(target)]});
+  // Rebuild with an observing pipeline config to count pairs on target.
+  // (The observer is wired through Config, so use a dedicated matcher.)
+  data::GemDataset counting_ds = SyntheticDataset();
+  em::IncrementalMatcher::Config config;
+  config.pipeline.on_scored = [&touched, target](const data::PairExample& p,
+                                                 em::ProbPair) {
+    if (p.right_index == target) ++touched;
+  };
+  const em::IncrementalMatcher::ScorerFactory scorer =
+      [](const data::GemDataset&) { return HashStubScorer(); };
+  em::IncrementalMatcher counting(
+      std::move(counting_ds), scorer,
+      [](const data::GemDataset& d) {
+        return std::unique_ptr<data::Blocker>(
+            std::make_unique<data::MinHashBlocker>(d.left_table,
+                                                   d.right_table));
+      },
+      config);
+  counting.FullMatch();
+  touched = 0;
+  counting.ApplyDelta(again);
+  EXPECT_EQ(counting.last_stats().rescored, touched);
+  EXPECT_LT(counting.last_stats().rescored, full_candidates / 10);
+}
+
+TEST(IncrementalMatcherTest, DeleteThenReviveRestoresOriginalResult) {
+  auto matcher = MakeMatcher(SyntheticDataset());
+  const em::MatchPipelineResult original = matcher->FullMatch();
+  const int victim = 77;
+  const data::Record saved =
+      matcher->dataset().right_table[static_cast<size_t>(victim)];
+
+  em::RecordDelta del;
+  del.deletes.push_back({false, victim});
+  const em::MatchPipelineResult without = matcher->ApplyDelta(del);
+  // The tombstoned record must be gone from the candidate stream.
+  for (const auto& m : without.top_matches) {
+    EXPECT_NE(m.right_index, victim);
+  }
+  EXPECT_LE(without.candidates, original.candidates);
+
+  // Reviving it with the original content restores the original result
+  // bitwise (the scorer is deterministic; only versions changed).
+  em::RecordDelta revive;
+  revive.upserts.push_back({false, victim, saved});
+  const em::MatchPipelineResult restored = matcher->ApplyDelta(revive);
+  EXPECT_TRUE(SameResult(restored, original));
+}
+
+}  // namespace
+}  // namespace promptem

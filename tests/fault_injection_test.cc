@@ -22,6 +22,7 @@
 #include "nn/layers.h"
 #include "nn/serialize.h"
 #include "nn/transformer.h"
+#include "promptem/embed_cache.h"
 #include "text/vocab.h"
 
 namespace promptem {
@@ -231,6 +232,134 @@ TEST(CheckpointFaultTest, FailedSaveNeverClobbersGoodCheckpoint) {
 TEST(CheckpointFaultTest, SuccessfulSaveLeavesNoTempFile) {
   ScratchDir dir("promptem_fault_ckpt_clean");
   const std::string path = SaveReferenceCheckpoint(dir);
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+// ---------------------------------------------------------------------------
+// Embedding-cache files (the --embed-cache artifact, "PEMEMBC1" envelope):
+// the same exhaustive sweep as checkpoints — every byte flip, every
+// truncation, trailing garbage — must be rejected wholesale, and a
+// rejected load must leave the in-memory cache exactly as it was.
+// ---------------------------------------------------------------------------
+
+/// Five dim-8 embeddings under one context tag — the reference contents.
+void FillReferenceEmbedCache(em::EmbeddingCache* cache) {
+  const uint64_t tag = em::EmbeddingCache::ContextTag(0xABu, 0xCDu);
+  for (int i = 0; i < 5; ++i) {
+    cache->Insert(em::EmbeddingCache::PairKey(tag, i, i + 1),
+                  std::vector<float>(8, 0.5f * static_cast<float>(i) - 1.0f));
+  }
+}
+
+std::string SaveReferenceEmbedCache(const ScratchDir& dir) {
+  em::EmbeddingCache cache(64);
+  FillReferenceEmbedCache(&cache);
+  const std::string path = dir.File("ref.embcache");
+  EXPECT_TRUE(cache.Save(path).ok());
+  return path;
+}
+
+TEST(EmbedCacheFaultTest, EveryByteFlipIsDetected) {
+  ScratchDir dir("promptem_fault_emb_flip");
+  const std::string good = ReadFileBytes(SaveReferenceEmbedCache(dir));
+  const std::string victim = dir.File("flipped.embcache");
+  for (size_t i = 0; i < good.size(); ++i) {
+    for (unsigned char mask : {0x01, 0xFF}) {
+      WriteFileBytes(victim, FlipByte(good, i, mask));
+      em::EmbeddingCache fresh(64);
+      core::Status st = fresh.Load(victim);
+      EXPECT_FALSE(st.ok()) << "flip at byte " << i << " mask "
+                            << static_cast<int>(mask) << " went undetected";
+      EXPECT_FALSE(st.message().empty());
+      EXPECT_EQ(fresh.LiveEntries(), 0u)
+          << "rejected load inserted entries (flip at byte " << i << ")";
+    }
+  }
+}
+
+TEST(EmbedCacheFaultTest, EveryTruncationIsDetected) {
+  ScratchDir dir("promptem_fault_emb_trunc");
+  const std::string good = ReadFileBytes(SaveReferenceEmbedCache(dir));
+  const std::string victim = dir.File("truncated.embcache");
+  for (size_t len = 0; len < good.size(); ++len) {
+    WriteFileBytes(victim, good.substr(0, len));
+    em::EmbeddingCache fresh(64);
+    EXPECT_FALSE(fresh.Load(victim).ok())
+        << "truncation to " << len << " bytes went undetected";
+    EXPECT_EQ(fresh.LiveEntries(), 0u);
+  }
+}
+
+TEST(EmbedCacheFaultTest, TrailingGarbageIsDetected) {
+  ScratchDir dir("promptem_fault_emb_trail");
+  const std::string good = ReadFileBytes(SaveReferenceEmbedCache(dir));
+  const std::string victim = dir.File("trailing.embcache");
+  WriteFileBytes(victim, good + std::string(13, '\x5A'));
+  em::EmbeddingCache fresh(64);
+  core::Status st = fresh.Load(victim);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("trailing"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(EmbedCacheFaultTest, RejectedLoadLeavesCacheUnchanged) {
+  ScratchDir dir("promptem_fault_emb_keep");
+  const std::string good = ReadFileBytes(SaveReferenceEmbedCache(dir));
+  const std::string victim = dir.File("corrupt.embcache");
+  WriteFileBytes(victim, FlipByte(good, good.size() / 2, 0xFF));
+  // A cache that already holds entries must keep serving them bitwise
+  // intact after rejecting a corrupt file.
+  em::EmbeddingCache cache(64);
+  const uint64_t key = em::EmbeddingCache::PairKey(
+      em::EmbeddingCache::ContextTag(0x11u, 0x22u), 3, 4);
+  const std::vector<float> value = {1.0f, 2.0f, 3.0f};
+  cache.Insert(key, value);
+  EXPECT_FALSE(cache.Load(victim).ok());
+  EXPECT_EQ(cache.LiveEntries(), 1u);
+  auto entry = cache.Find(key);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(*entry, value);
+  // And the survivor cache still round-trips: rebuild-after-reject works.
+  const std::string repaired = dir.File("repaired.embcache");
+  EXPECT_TRUE(cache.Save(repaired).ok());
+  em::EmbeddingCache reloaded(64);
+  EXPECT_TRUE(reloaded.Load(repaired).ok());
+  auto reloaded_entry = reloaded.Find(key);
+  ASSERT_NE(reloaded_entry, nullptr);
+  EXPECT_EQ(*reloaded_entry, value);
+}
+
+TEST(EmbedCacheFaultTest, SaveToUnreachablePathLeavesNothingBehind) {
+  em::EmbeddingCache cache(64);
+  FillReferenceEmbedCache(&cache);
+  const std::string target =
+      (fs::path(::testing::TempDir()) / "promptem_no_such_dir" /
+       "x.embcache")
+          .string();
+  core::Status st = cache.Save(target);
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(fs::exists(target));
+  EXPECT_FALSE(fs::exists(target + ".tmp"));
+}
+
+TEST(EmbedCacheFaultTest, FailedSaveNeverClobbersGoodFile) {
+  ScratchDir dir("promptem_fault_emb_atomic");
+  const std::string path = SaveReferenceEmbedCache(dir);
+  const std::string good = ReadFileBytes(path);
+  // Block the temp file with a directory: the save must fail without
+  // touching the target.
+  fs::create_directory(path + ".tmp");
+  em::EmbeddingCache other(64);
+  other.Insert(7u, {9.0f});
+  EXPECT_FALSE(other.Save(path).ok());
+  EXPECT_EQ(ReadFileBytes(path), good) << "target was modified";
+  fs::remove_all(path + ".tmp");
+}
+
+TEST(EmbedCacheFaultTest, SuccessfulSaveLeavesNoTempFile) {
+  ScratchDir dir("promptem_fault_emb_clean");
+  const std::string path = SaveReferenceEmbedCache(dir);
   EXPECT_TRUE(fs::exists(path));
   EXPECT_FALSE(fs::exists(path + ".tmp"));
 }

@@ -39,7 +39,10 @@
 #include "data/io.h"
 #include "data/synthetic.h"
 #include "lm/pretrained_lm.h"
+#include "pipeline/incremental.h"
 #include "pipeline/match_pipeline.h"
+#include "promptem/embed_cache.h"
+#include "promptem/pseudo_labels.h"
 #include "promptem/scoring.h"
 #include "tensor/kernels.h"
 #include "train/observer.h"
@@ -64,6 +67,13 @@ void PrintUsage() {
       "  --run-log PATH  append one JSON record per training epoch to PATH\n"
       "  --quantize Q    eval-path quantization: none (default) or int8\n"
       "                  (training always runs f32)\n"
+      "  --pseudo P      pseudo-label selection strategy: uncertainty\n"
+      "                  (default, the paper's choice), confidence, or\n"
+      "                  clustering (k-means on pair embeddings)\n"
+      "  --embed-cache PATH  persist pair embeddings (the clustering\n"
+      "                  pseudo-label strategy's EmbedBatch output) to\n"
+      "                  PATH: loaded at startup when present (a corrupt\n"
+      "                  file is rejected and rebuilt), saved at exit\n"
       "  --export DIR    write the dataset to DIR and exit\n"
       "promptem_cli --match-tables [--synthetic N | --left STEM --right STEM]\n"
       "             [--blocker B] [--block-top-k K] [--chunk-size C]\n"
@@ -80,6 +90,10 @@ void PrintUsage() {
       "  --chunk-size C  candidates scored per chunk (default 4096)\n"
       "  --threshold T   declare a match when P(yes) >= T (default 0.5)\n"
       "  --top-matches M strongest matches to print (default 10)\n"
+      "  --incremental N after the full match, touch N records and\n"
+      "                  re-match incrementally: only candidate pairs of\n"
+      "                  changed records are re-scored, the rest come\n"
+      "                  from the score cache (requires --match-tables)\n"
       "promptem_cli --blocking-report (--synthetic N | --dataset NAME |\n"
       "             --dir PATH) [--blocker B] [--block-top-k K]\n"
       "  stream the blocker against the gold matches and report pair\n"
@@ -203,6 +217,9 @@ int main(int argc, char** argv) {
   long long chunk_size = 4096;
   double threshold = 0.5;
   long long top_matches = 10;
+  long long incremental_rows = 0;
+  std::string embed_cache_path;
+  std::string pseudo_strategy = "uncertainty";
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -315,10 +332,32 @@ int main(int argc, char** argv) {
       if (!ParseIntArg(value, &top_matches) || top_matches < 0) {
         BadOption(arg, value, "a non-negative count");
       }
+    } else if (arg == "--incremental") {
+      const char* value = next();
+      if (!ParseIntArg(value, &incremental_rows) || incremental_rows < 1) {
+        BadOption(arg, value, "a positive record count");
+      }
+    } else if (arg == "--embed-cache") {
+      embed_cache_path = next();
+      if (embed_cache_path.empty()) {
+        BadOption(arg, "", "a non-empty path");
+      }
+    } else if (arg == "--pseudo") {
+      pseudo_strategy = next();
+      em::PseudoLabelStrategy parsed;
+      if (!em::ParsePseudoLabelStrategy(pseudo_strategy, &parsed)) {
+        BadOption(arg, pseudo_strategy.c_str(),
+                  "uncertainty, confidence, or clustering");
+      }
     } else {
       PrintUsage();
       return 2;
     }
+  }
+
+  if (incremental_rows > 0 && !match_tables) {
+    std::fprintf(stderr, "--incremental requires --match-tables\n");
+    return 2;
   }
 
   const bool pipeline_mode = match_tables || blocking_report;
@@ -489,6 +528,27 @@ int main(int argc, char** argv) {
     }
   }
 
+  // The persistent embedding cache, shared by every in-process consumer
+  // (the clustering pseudo-label strategy's EmbedBatch sweeps). Missing
+  // file: start empty. Corrupt file: reject it loudly and rebuild from
+  // scratch — a cache is always safe to discard, never safe to trust.
+  std::shared_ptr<em::EmbeddingCache> embed_cache;
+  if (!embed_cache_path.empty()) {
+    embed_cache = std::make_shared<em::EmbeddingCache>();
+    const core::Status loaded = embed_cache->Load(embed_cache_path);
+    if (loaded.ok()) {
+      std::printf("embed cache: loaded %zu embeddings from %s\n",
+                  embed_cache->LiveEntries(), embed_cache_path.c_str());
+    } else if (loaded.code() == core::StatusCode::kNotFound) {
+      std::printf("embed cache: %s absent, starting empty\n",
+                  embed_cache_path.c_str());
+    } else {
+      std::fprintf(stderr, "embed cache: rejected %s (%s); rebuilding\n",
+                   embed_cache_path.c_str(), loaded.ToString().c_str());
+    }
+    em::SetGlobalEmbeddingCache(embed_cache);
+  }
+
   auto lm = lm::GetOrCreateSharedLM(lm_prefix, seed);
   core::Rng rng(seed);
   data::LowResourceSplit split =
@@ -517,6 +577,7 @@ int main(int argc, char** argv) {
   ctx.dataset = &dataset;
   ctx.split = &split;
   ctx.options.seed = seed;
+  ctx.options.pseudo_strategy = pseudo_strategy;
   ctx.observer = run_logger.get();
   const train::MatcherResult result = train::RunMatcher(matcher.get(), ctx);
 
@@ -560,6 +621,66 @@ int main(int argc, char** argv) {
       }
       table.Print();
     }
+
+    if (incremental_rows > 0) {
+      // Incremental re-matching demo: full match once (fills the score
+      // cache), then touch N right records and re-match — only their
+      // candidate pairs are re-scored.
+      train::MatcherContext inc_ctx = match_ctx;
+      em::IncrementalMatcher::Config inc_config;
+      inc_config.pipeline = config;
+      train::Matcher* matcher_ptr = matcher.get();
+      em::IncrementalMatcher inc(
+          *match_ds,
+          [&inc_ctx, matcher_ptr](const data::GemDataset& ds) {
+            inc_ctx.dataset = &ds;
+            return em::ChunkScoreFn(
+                [matcher_ptr,
+                 &inc_ctx](const std::vector<data::PairExample>& chunk) {
+                  const std::vector<int> labels =
+                      matcher_ptr->Predict(inc_ctx, chunk);
+                  std::vector<em::ProbPair> probs(labels.size());
+                  for (size_t i = 0; i < labels.size(); ++i) {
+                    probs[i] = labels[i] == 1 ? em::ProbPair{0.0f, 1.0f}
+                                              : em::ProbPair{1.0f, 0.0f};
+                  }
+                  return probs;
+                });
+          },
+          [&blocker_name, block_top_k](const data::GemDataset& ds) {
+            return MakeBlocker(blocker_name, ds, block_top_k);
+          },
+          inc_config);
+      inc.FullMatch();
+      const size_t right_rows = inc.dataset().right_table.size();
+      em::RecordDelta delta;
+      for (long long n = 0; n < incremental_rows; ++n) {
+        em::RecordUpsert up;
+        up.left = false;
+        up.index = static_cast<int>(static_cast<size_t>(n) % right_rows);
+        up.record =
+            inc.dataset().right_table[static_cast<size_t>(up.index)];
+        delta.upserts.push_back(std::move(up));
+      }
+      const em::MatchPipelineResult ir = inc.ApplyDelta(delta);
+      const em::DeltaStats& stats = inc.last_stats();
+      std::printf(
+          "incremental re-match: %zu changed records -> %zu candidates, "
+          "%zu re-scored, %zu reused from cache (%zu matches)\n",
+          stats.changed_records, stats.candidates, stats.rescored,
+          stats.reused, ir.matches);
+    }
+  }
+
+  if (embed_cache != nullptr) {
+    const core::Status saved = embed_cache->Save(embed_cache_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "embed cache: save failed: %s\n",
+                   saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("embed cache: saved %zu embeddings to %s\n",
+                embed_cache->LiveEntries(), embed_cache_path.c_str());
   }
   return 0;
 }

@@ -41,3 +41,14 @@ cmake --build "${build_dir}" -j "$(nproc)" --target bench_micro_kernels
 # writes BENCH_micro.json into the working directory.
 "${build_dir}/bench/bench_micro_kernels" "$@"
 echo "run_bench.sh: recorded $(pwd)/BENCH_micro.json"
+
+# The record-cache benchmarks are part of the recorded baseline: warn
+# when a --benchmark_filter pass left them out of the refreshed file.
+for bench in BM_EncodeChunkParallel BM_EmbedCacheHitMiss \
+             BM_SelfTrainCached BM_IncrementalMatch; do
+  if ! grep -q "\"${bench}" BENCH_micro.json; then
+    echo "run_bench.sh: warning: ${bench} missing from BENCH_micro.json" \
+         "(filtered run? re-run without --benchmark_filter to record the" \
+         "full baseline)" >&2
+  fi
+done
