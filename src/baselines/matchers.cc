@@ -1,5 +1,6 @@
 #include "baselines/matchers.h"
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -16,6 +17,7 @@
 #include "baselines/tdmatch_star.h"
 #include "core/status.h"
 #include "core/timer.h"
+#include "promptem/scoring.h"
 #include "promptem/trainer.h"
 #include "train/registry.h"
 #include "train/train_loop.h"
@@ -61,6 +63,14 @@ class ClassifierMatcher : public Matcher {
     PROMPTEM_CHECK_MSG(model_ != nullptr, "Predict before Train");
     return em::PredictLabels(model_.get(),
                              encoder_->EncodeAll(*ctx.dataset, pairs));
+  }
+
+  std::vector<std::array<float, 2>> ScoreProbs(
+      const MatcherContext& ctx,
+      const std::vector<data::PairExample>& pairs) override {
+    PROMPTEM_CHECK_MSG(model_ != nullptr, "ScoreProbs before Train");
+    return em::ScoreBatch(model_.get(),
+                          encoder_->EncodeAll(*ctx.dataset, pairs));
   }
 
  protected:
@@ -273,6 +283,16 @@ class PromptEmMatcher final : public ClassifierMatcher {
     PROMPTEM_CHECK_MSG(promptem_ != nullptr, "Predict before Train");
     return em::PredictLabels(promptem_->last_model(),
                              encoder_->EncodeAll(*ctx.dataset, pairs));
+  }
+
+  std::vector<std::array<float, 2>> ScoreProbs(
+      const MatcherContext& ctx,
+      const std::vector<data::PairExample>& pairs) override {
+    // The façade owns the trained model (model_ stays null); score it
+    // through the same engine path ClassifierMatcher uses.
+    PROMPTEM_CHECK_MSG(promptem_ != nullptr, "ScoreProbs before Train");
+    return em::ScoreBatch(promptem_->last_model(),
+                          encoder_->EncodeAll(*ctx.dataset, pairs));
   }
 
   const em::PromptEMResult& result() const { return result_; }

@@ -1,8 +1,11 @@
 #include "core/string_util.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <algorithm>
 #include <set>
 
@@ -123,6 +126,25 @@ std::string StrFormat(const char* fmt, ...) {
   }
   va_end(args_copy);
   return out;
+}
+
+bool ParseInt64(const char* text, long long* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseFiniteDouble(const char* text, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
 }
 
 }  // namespace promptem::core

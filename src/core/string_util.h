@@ -42,6 +42,15 @@ double TokenJaccard(std::string_view a, std::string_view b);
 std::string StrFormat(const char* fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// Strict command-line number parsing, shared by every tool. atoi/atof
+/// silently read "0.1x" or "" as a number and let the garbage value
+/// travel deep into the run; these accept only a complete, in-range
+/// literal. ParseFiniteDouble additionally rejects nan/inf — "nan"
+/// otherwise slips through naive range checks ('nan <= 0.0' and
+/// 'nan > 1.0' are both false) and poisons every later comparison.
+bool ParseInt64(const char* text, long long* out);
+bool ParseFiniteDouble(const char* text, double* out);
+
 }  // namespace promptem::core
 
 #endif  // PROMPTEM_CORE_STRING_UTIL_H_

@@ -128,13 +128,8 @@ MatchPipelineResult RunTableMatch(train::Matcher* matcher,
   PROMPTEM_CHECK(ctx.dataset != nullptr);
   ChunkScoreFn scorer =
       [matcher, &ctx](const std::vector<data::PairExample>& chunk) {
-        const std::vector<int> labels = matcher->Predict(ctx, chunk);
-        PROMPTEM_CHECK(labels.size() == chunk.size());
-        std::vector<ProbPair> probs(labels.size());
-        for (size_t i = 0; i < labels.size(); ++i) {
-          probs[i] = labels[i] == 1 ? ProbPair{0.0f, 1.0f}
-                                    : ProbPair{1.0f, 0.0f};
-        }
+        std::vector<ProbPair> probs = matcher->ScoreProbs(ctx, chunk);
+        PROMPTEM_CHECK(probs.size() == chunk.size());
         return probs;
       };
   MatchPipeline pipeline(blocker, std::move(scorer), config);

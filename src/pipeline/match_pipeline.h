@@ -113,9 +113,11 @@ data::GemDataset MakeTableDataset(std::string name,
                                   std::vector<data::Record> right);
 
 /// Table-match through the MatcherRegistry face: streams blocker chunks
-/// through Matcher::Predict (ctx.dataset must hold the tables the blocker
-/// indexes). Registry matchers emit hard labels, so retained matches
-/// carry pos_prob 1.0 and rank by candidate order.
+/// through Matcher::ScoreProbs (ctx.dataset must hold the tables the
+/// blocker indexes). Classifier-backed matchers yield calibrated P(yes),
+/// so top_matches ranks by real confidence; matchers without a
+/// probabilistic head degrade to {1,0}/{0,1} one-hots (candidate-order
+/// ranking).
 MatchPipelineResult RunTableMatch(train::Matcher* matcher,
                                   const train::MatcherContext& ctx,
                                   data::Blocker* blocker,

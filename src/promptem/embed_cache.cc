@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/hashing.h"
+#include "core/log.h"
 
 namespace promptem::em {
 
@@ -105,7 +106,62 @@ uint64_t EmbeddingCache::PairKey(uint64_t context_tag, int left_index,
   return core::Combine64(context_tag, pair);
 }
 
+void EmbeddingCache::Insert(uint64_t key, std::vector<float> embedding) {
+  cache_.Insert(key, std::move(embedding));
+  const size_t every = autosave_every_.load(std::memory_order_relaxed);
+  if (every == 0) return;
+  const uint64_t n = insert_count_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n % every == 0) MaybeAutosave();
+}
+
+void EmbeddingCache::EnableAutosave(std::string path,
+                                    size_t every_n_inserts) {
+  std::lock_guard<std::mutex> lock(autosave_config_mu_);
+  autosave_path_ = std::move(path);
+  autosave_every_.store(autosave_path_.empty() ? 0 : every_n_inserts,
+                        std::memory_order_relaxed);
+}
+
+core::Status EmbeddingCache::FlushNow() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(autosave_config_mu_);
+    path = autosave_path_;
+  }
+  if (path.empty()) {
+    return core::Status::FailedPrecondition("autosave path not configured");
+  }
+  return Save(path);
+}
+
+void EmbeddingCache::MaybeAutosave() {
+  // try_lock: if a flush is already running, this insert's trigger is
+  // covered by it (the running flush snapshots the cache after our
+  // insert or the next trigger fires soon) — never stall the inserter
+  // behind disk I/O twice.
+  std::unique_lock<std::mutex> lock(save_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> config_lock(autosave_config_mu_);
+    path = autosave_path_;
+  }
+  if (path.empty()) return;
+  const core::Status saved = SaveUnlocked(path);
+  if (saved.ok()) {
+    autosave_flushes_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    PROMPTEM_LOG(Warn) << "embedding cache autosave failed: "
+                       << saved.ToString();
+  }
+}
+
 core::Status EmbeddingCache::Save(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(save_mu_);
+  return SaveUnlocked(path);
+}
+
+core::Status EmbeddingCache::SaveUnlocked(const std::string& path) const {
   // Snapshot and sort so identical cache contents always serialize to an
   // identical byte image (ForEachLive order is shard-layout dependent).
   std::vector<std::pair<uint64_t, std::shared_ptr<const std::vector<float>>>>

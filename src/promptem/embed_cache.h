@@ -1,8 +1,10 @@
 #ifndef PROMPTEM_PROMPTEM_EMBED_CACHE_H_
 #define PROMPTEM_PROMPTEM_EMBED_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,9 +39,7 @@ class EmbeddingCache {
   std::shared_ptr<const std::vector<float>> Find(uint64_t key) {
     return cache_.Find(key);
   }
-  void Insert(uint64_t key, std::vector<float> embedding) {
-    cache_.Insert(key, std::move(embedding));
-  }
+  void Insert(uint64_t key, std::vector<float> embedding);
 
   /// Drops every entry (O(1), lazy reclamation).
   void Invalidate() { cache_.Invalidate(); }
@@ -66,6 +66,27 @@ class EmbeddingCache {
   /// a corrupt file is rejected wholesale, never partially trusted.
   core::Status Load(const std::string& path);
 
+  /// Crash-durable persistence: after every `every_n_inserts` Inserts the
+  /// inserting thread flushes the cache to `path` through Save's atomic
+  /// tmp+rename path. Without it a cache is only persisted by an explicit
+  /// end-of-run Save, so a crash or Ctrl-C loses every warm entry; with
+  /// it at most every_n_inserts-1 entries are ever at risk, and a kill at
+  /// any instant leaves either the previous file or the new one on disk —
+  /// never a torn write (fault_injection_test kills mid-flush to pin
+  /// this). Concurrent triggers collapse into one flush; a flush already
+  /// in progress is skipped, not queued. Pass every_n_inserts = 0 to
+  /// disable again.
+  void EnableAutosave(std::string path, size_t every_n_inserts);
+
+  /// Immediate flush through the same serialized save path (the SIGTERM
+  /// handler's entry point; safe against a concurrent autosave).
+  core::Status FlushNow();
+
+  /// Autosave flushes completed so far (observability / tests).
+  uint64_t autosave_flushes() const {
+    return autosave_flushes_.load(std::memory_order_relaxed);
+  }
+
   /// Tag identifying one (dataset, model) embedding context from
   /// restart-stable content fingerprints.
   static uint64_t ContextTag(uint64_t dataset_fingerprint,
@@ -76,7 +97,20 @@ class EmbeddingCache {
                           int right_index);
 
  private:
+  core::Status SaveUnlocked(const std::string& path) const;
+  /// Flush if no other flush is running (never blocks the inserter).
+  void MaybeAutosave();
+
   core::ConcurrentCache<std::vector<float>> cache_;
+
+  // Autosave state. `save_mu_` serializes every flush (autosave or
+  // FlushNow) so two threads can never interleave writes to `path.tmp`.
+  mutable std::mutex save_mu_;
+  std::mutex autosave_config_mu_;
+  std::string autosave_path_;
+  std::atomic<size_t> autosave_every_{0};
+  std::atomic<uint64_t> insert_count_{0};
+  std::atomic<uint64_t> autosave_flushes_{0};
 };
 
 /// Process-global embedding cache, installed by the CLI when the user

@@ -1,0 +1,337 @@
+#include "serve/protocol.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "core/string_util.h"
+#include "data/json.h"
+#include "data/record.h"
+
+namespace promptem::serve {
+
+namespace {
+
+const data::Value* FindField(const data::Value& object,
+                             const std::string& name) {
+  for (const auto& [key, value] : object.as_object()) {
+    if (key == name) return &value;
+  }
+  return nullptr;
+}
+
+/// A JSON number that is an exact non-negative integer <= `max`.
+bool AsIndex(const data::Value& v, int64_t max, int64_t* out) {
+  if (!v.is_number()) return false;
+  const double d = v.as_number();
+  if (!(d >= 0) || d > static_cast<double>(max)) return false;
+  if (d != std::floor(d)) return false;
+  *out = static_cast<int64_t>(d);
+  return true;
+}
+
+core::Status Bad(const std::string& what) {
+  return core::Status::InvalidArgument("bad request: " + what);
+}
+
+/// %.9g prints enough significant digits that text -> double -> float
+/// recovers the exact float32 bit pattern (IEEE round-trip guarantee);
+/// the served scores stay bitwise comparable to the in-process path.
+void AppendFloat(std::string* out, float v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(v));
+  out->append(buf);
+}
+
+std::string QuoteJson(const std::string& s) {
+  return data::ToJson(data::Value::Str(s));
+}
+
+}  // namespace
+
+const char* ResponseStatusName(ResponseStatus status) {
+  switch (status) {
+    case ResponseStatus::kOk:
+      return "ok";
+    case ResponseStatus::kOverloaded:
+      return "overloaded";
+    case ResponseStatus::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ResponseStatus::kBadRequest:
+      return "bad_request";
+    case ResponseStatus::kUnknownMatcher:
+      return "unknown_matcher";
+    case ResponseStatus::kShuttingDown:
+      return "shutting_down";
+  }
+  return "unknown";
+}
+
+core::Result<MatchRequest> ParseMatchRequest(std::string_view json) {
+  core::Result<data::Value> parsed = data::ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  const data::Value& root = parsed.value();
+  if (!root.is_object()) return Bad("request must be a JSON object");
+
+  MatchRequest request;
+  if (const data::Value* id = FindField(root, "id")) {
+    int64_t v = 0;
+    // 2^53: the largest range a JSON double carries exactly.
+    if (!AsIndex(*id, int64_t{1} << 53, &v)) {
+      return Bad("'id' must be a non-negative integer");
+    }
+    request.id = static_cast<uint64_t>(v);
+  }
+
+  if (const data::Value* op = FindField(root, "op")) {
+    if (!op->is_string()) return Bad("'op' must be a string");
+    const std::string& name = op->as_string();
+    if (name == "info") {
+      request.op = RequestOp::kInfo;
+      return request;
+    }
+    if (name != "match") return Bad("unknown op '" + name + "'");
+  }
+
+  if (const data::Value* matcher = FindField(root, "matcher")) {
+    if (!matcher->is_string()) return Bad("'matcher' must be a string");
+    request.matcher = matcher->as_string();
+  }
+
+  if (const data::Value* deadline = FindField(root, "deadline_ms")) {
+    int64_t v = 0;
+    if (!AsIndex(*deadline, int64_t{1} << 40, &v)) {
+      return Bad("'deadline_ms' must be a non-negative integer");
+    }
+    request.deadline_ms = v;
+  }
+
+  const data::Value* pairs = FindField(root, "pairs");
+  if (pairs == nullptr || !pairs->is_list()) {
+    return Bad("'pairs' must be a list of [left, right] index pairs");
+  }
+  if (pairs->as_list().empty()) return Bad("'pairs' is empty");
+  if (pairs->as_list().size() > kMaxPairsPerRequest) {
+    return Bad("'pairs' exceeds the per-request cap of " +
+               std::to_string(kMaxPairsPerRequest));
+  }
+  request.pairs.reserve(pairs->as_list().size());
+  for (const data::Value& entry : pairs->as_list()) {
+    if (!entry.is_list() || entry.as_list().size() != 2) {
+      return Bad("each pair must be a [left, right] list");
+    }
+    int64_t left = 0;
+    int64_t right = 0;
+    if (!AsIndex(entry.as_list()[0], INT32_MAX, &left) ||
+        !AsIndex(entry.as_list()[1], INT32_MAX, &right)) {
+      return Bad("pair indexes must be non-negative 32-bit integers");
+    }
+    data::PairExample pair;
+    pair.left_index = static_cast<int>(left);
+    pair.right_index = static_cast<int>(right);
+    pair.label = data::kUnlabeledLabel;
+    request.pairs.push_back(pair);
+  }
+  return request;
+}
+
+std::string SerializeRequest(const MatchRequest& request) {
+  std::string out = "{\"id\":" + std::to_string(request.id);
+  if (request.op == RequestOp::kInfo) {
+    out += ",\"op\":\"info\"}";
+    return out;
+  }
+  if (!request.matcher.empty()) {
+    out += ",\"matcher\":" + QuoteJson(request.matcher);
+  }
+  if (request.deadline_ms > 0) {
+    out += ",\"deadline_ms\":" + std::to_string(request.deadline_ms);
+  }
+  out += ",\"pairs\":[";
+  for (size_t i = 0; i < request.pairs.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '[' + std::to_string(request.pairs[i].left_index) + ',' +
+           std::to_string(request.pairs[i].right_index) + ']';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string SerializeResponse(const MatchResponse& response) {
+  std::string out = "{\"id\":" + std::to_string(response.id) +
+                    ",\"status\":\"" + ResponseStatusName(response.status) +
+                    "\"";
+  if (!response.error.empty()) {
+    out += ",\"error\":" + QuoteJson(response.error);
+  }
+  if (!response.info.empty()) {
+    out += ",\"info\":" + response.info;
+  }
+  if (response.status == ResponseStatus::kOk && !response.probs.empty()) {
+    out += ",\"probs\":[";
+    for (size_t i = 0; i < response.probs.size(); ++i) {
+      if (i > 0) out += ',';
+      out += '[';
+      AppendFloat(&out, response.probs[i][0]);
+      out += ',';
+      AppendFloat(&out, response.probs[i][1]);
+      out += ']';
+    }
+    out += "],\"labels\":[";
+    for (size_t i = 0; i < response.labels.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(response.labels[i]);
+    }
+    out += "],\"batch\":" + std::to_string(response.batch_size);
+  }
+  out += '}';
+  return out;
+}
+
+core::Result<MatchResponse> ParseMatchResponse(std::string_view json) {
+  core::Result<data::Value> parsed = data::ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  const data::Value& root = parsed.value();
+  if (!root.is_object()) return Bad("response must be a JSON object");
+
+  MatchResponse response;
+  if (const data::Value* id = FindField(root, "id")) {
+    int64_t v = 0;
+    if (!AsIndex(*id, int64_t{1} << 53, &v)) return Bad("bad 'id'");
+    response.id = static_cast<uint64_t>(v);
+  }
+  const data::Value* status = FindField(root, "status");
+  if (status == nullptr || !status->is_string()) {
+    return Bad("missing 'status'");
+  }
+  bool known = false;
+  for (ResponseStatus s :
+       {ResponseStatus::kOk, ResponseStatus::kOverloaded,
+        ResponseStatus::kDeadlineExceeded, ResponseStatus::kBadRequest,
+        ResponseStatus::kUnknownMatcher, ResponseStatus::kShuttingDown}) {
+    if (status->as_string() == ResponseStatusName(s)) {
+      response.status = s;
+      known = true;
+      break;
+    }
+  }
+  if (!known) return Bad("unknown status '" + status->as_string() + "'");
+  if (const data::Value* error = FindField(root, "error")) {
+    if (error->is_string()) response.error = error->as_string();
+  }
+  if (const data::Value* info = FindField(root, "info")) {
+    response.info = data::ToJson(*info);
+  }
+  if (const data::Value* batch = FindField(root, "batch")) {
+    int64_t v = 0;
+    if (AsIndex(*batch, int64_t{1} << 53, &v)) {
+      response.batch_size = static_cast<size_t>(v);
+    }
+  }
+  if (const data::Value* probs = FindField(root, "probs")) {
+    if (!probs->is_list()) return Bad("'probs' must be a list");
+    for (const data::Value& entry : probs->as_list()) {
+      if (!entry.is_list() || entry.as_list().size() != 2 ||
+          !entry.as_list()[0].is_number() ||
+          !entry.as_list()[1].is_number()) {
+        return Bad("each prob must be a [p_no, p_yes] list");
+      }
+      response.probs.push_back(
+          {static_cast<float>(entry.as_list()[0].as_number()),
+           static_cast<float>(entry.as_list()[1].as_number())});
+    }
+  }
+  if (const data::Value* labels = FindField(root, "labels")) {
+    if (!labels->is_list()) return Bad("'labels' must be a list");
+    for (const data::Value& entry : labels->as_list()) {
+      if (!entry.is_number()) return Bad("labels must be numbers");
+      response.labels.push_back(static_cast<int>(entry.as_number()));
+    }
+  }
+  return response;
+}
+
+bool ReadFull(int fd, void* buf, size_t n) {
+  char* out = static_cast<char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t got = ::read(fd, out + done, n - done);
+    if (got > 0) {
+      done += static_cast<size_t>(got);
+      continue;
+    }
+    if (got == 0) return false;  // EOF mid-buffer
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool WriteFull(int fd, const void* buf, size_t n) {
+  const char* in = static_cast<const char*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t put = ::write(fd, in + done, n - done);
+    if (put > 0) {
+      done += static_cast<size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    return false;  // EPIPE (peer gone), or any other hard error
+  }
+  return true;
+}
+
+core::Status ReadFrame(int fd, std::string* payload) {
+  uint8_t header[4];
+  // EOF before any header byte is the normal end of a connection; detect
+  // it with a one-byte probe so a clean close is not reported as error.
+  {
+    const ssize_t got = [&] {
+      while (true) {
+        const ssize_t r = ::read(fd, header, 1);
+        if (r < 0 && errno == EINTR) continue;
+        return r;
+      }
+    }();
+    if (got == 0) return core::Status::NotFound("eof");
+    if (got < 0) return core::Status::IOError("read failed");
+  }
+  if (!ReadFull(fd, header + 1, 3)) {
+    return core::Status::InvalidArgument("truncated frame header");
+  }
+  const uint32_t length = (static_cast<uint32_t>(header[0]) << 24) |
+                          (static_cast<uint32_t>(header[1]) << 16) |
+                          (static_cast<uint32_t>(header[2]) << 8) |
+                          static_cast<uint32_t>(header[3]);
+  if (length == 0 || length > kMaxFrameBytes) {
+    return core::Status::InvalidArgument(
+        core::StrFormat("frame length %u out of range", length));
+  }
+  payload->resize(length);
+  if (!ReadFull(fd, payload->data(), length)) {
+    return core::Status::InvalidArgument("truncated frame payload");
+  }
+  return core::Status::OK();
+}
+
+core::Status WriteFrame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return core::Status::InvalidArgument("frame too large");
+  }
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  const uint8_t header[4] = {static_cast<uint8_t>(length >> 24),
+                             static_cast<uint8_t>(length >> 16),
+                             static_cast<uint8_t>(length >> 8),
+                             static_cast<uint8_t>(length)};
+  if (!WriteFull(fd, header, sizeof(header)) ||
+      !WriteFull(fd, payload.data(), payload.size())) {
+    return core::Status::IOError("write failed (peer closed?)");
+  }
+  return core::Status::OK();
+}
+
+}  // namespace promptem::serve

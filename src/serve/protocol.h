@@ -1,0 +1,107 @@
+#ifndef PROMPTEM_SERVE_PROTOCOL_H_
+#define PROMPTEM_SERVE_PROTOCOL_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "data/dataset.h"
+
+namespace promptem::serve {
+
+/// Wire protocol of the promptem_serve daemon.
+///
+/// Two transports carry the same JSON documents:
+///  - TCP: length-prefixed frames — a 4-byte big-endian payload length
+///    followed by that many bytes of UTF-8 JSON. Both directions use the
+///    same framing; frames above kMaxFrameBytes are rejected (the stream
+///    is then out of sync, so the server answers once and closes).
+///  - stdio: JSON Lines — one document per '\n'-terminated line on
+///    stdin/stdout (no length prefix; a raw newline inside a JSON string
+///    is impossible — it is always escaped).
+///
+/// Requests:
+///   {"id": 7, "pairs": [[0, 3], [5, 2]],
+///    "matcher": "PromptEM",      // optional; server default when absent
+///    "deadline_ms": 50}          // optional; 0 / absent = no deadline
+///   {"id": 8, "op": "info"}      // server + table metadata, never queued
+/// Pair indexes refer to the rows of the tables the daemon loaded at
+/// startup (match-by-id against a resident catalog).
+///
+/// Responses echo the id:
+///   {"id": 7, "status": "ok", "probs": [[0.9, 0.1], ...],
+///    "labels": [0, ...], "batch": 17}
+///   {"id": 9, "status": "overloaded", "error": "queue full"}
+/// "batch" reports how many pairs the scoring sweep that served this
+/// request coalesced (observability for the batching layer). Probability
+/// floats are serialized with %.9g — enough decimal digits that parsing
+/// them back recovers the exact float, so a client sees bit-identical
+/// scores to the in-process CLI path.
+
+inline constexpr uint32_t kMaxFrameBytes = 1u << 20;
+/// Hard per-request pair cap: one request may not monopolize a batch.
+inline constexpr size_t kMaxPairsPerRequest = 4096;
+
+enum class RequestOp { kMatch, kInfo };
+
+struct MatchRequest {
+  uint64_t id = 0;
+  RequestOp op = RequestOp::kMatch;
+  std::string matcher;  ///< empty = server default
+  std::vector<data::PairExample> pairs;
+  int64_t deadline_ms = 0;  ///< relative to server receipt; 0 = none
+};
+
+enum class ResponseStatus {
+  kOk,
+  kOverloaded,        ///< admission control shed the request
+  kDeadlineExceeded,  ///< expired while queued; never scored
+  kBadRequest,        ///< malformed JSON / fields / out-of-range indexes
+  kUnknownMatcher,    ///< matcher not trained into this daemon
+  kShuttingDown,      ///< daemon draining; no new work accepted
+};
+
+const char* ResponseStatusName(ResponseStatus status);
+
+struct MatchResponse {
+  uint64_t id = 0;
+  ResponseStatus status = ResponseStatus::kOk;
+  std::string error;  ///< detail for non-ok statuses
+  std::vector<std::array<float, 2>> probs;
+  std::vector<int> labels;
+  size_t batch_size = 0;  ///< pairs in the coalesced scoring sweep
+  std::string info;       ///< pre-serialized JSON object for kInfo replies
+};
+
+/// Parses and structurally validates one request document. Rejected
+/// inputs (non-object, bad field types, empty/oversized pair lists,
+/// negative indexes, negative or non-integral deadline) come back as
+/// InvalidArgument — index bounds against the loaded tables are the
+/// service's job.
+core::Result<MatchRequest> ParseMatchRequest(std::string_view json);
+
+std::string SerializeRequest(const MatchRequest& request);
+std::string SerializeResponse(const MatchResponse& response);
+
+/// Client-side response parse (load generator, tests).
+core::Result<MatchResponse> ParseMatchResponse(std::string_view json);
+
+/// Reads/writes exactly `n` bytes, retrying EINTR and short transfers.
+/// False on EOF, EPIPE, or any other hard error — never a crash: callers
+/// run with SIGPIPE ignored (core::IgnoreSigPipe), so a peer vanishing
+/// mid-transfer is an error return, not a process kill.
+bool ReadFull(int fd, void* buf, size_t n);
+bool WriteFull(int fd, const void* buf, size_t n);
+
+/// One length-prefixed frame. ReadFrame distinguishes a clean EOF at a
+/// frame boundary (kNotFound) from a truncated frame or oversized length
+/// (kInvalidArgument) and transport errors (kIOError).
+core::Status ReadFrame(int fd, std::string* payload);
+core::Status WriteFrame(int fd, std::string_view payload);
+
+}  // namespace promptem::serve
+
+#endif  // PROMPTEM_SERVE_PROTOCOL_H_

@@ -1,0 +1,114 @@
+#ifndef PROMPTEM_SERVE_SERVER_H_
+#define PROMPTEM_SERVE_SERVER_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "serve/batch_queue.h"
+#include "serve/service.h"
+
+namespace promptem::serve {
+
+/// The transport shell of promptem_serve: accepts clients, frames and
+/// parses their requests, pushes admitted work through the BatchQueue,
+/// and runs the single scorer loop that rides coalesced batches through
+/// MatchService::HandleBatch.
+///
+/// Two transports, one daemon:
+///  - TCP (config.port >= 0): binds 127.0.0.1, one reader thread per
+///    connection, length-prefixed frames both ways. Port 0 binds an
+///    ephemeral port; port() reports the real one after Start.
+///  - stdio (config.port < 0): JSONL on stdin/stdout, single reader.
+///
+/// Crash-proofing against clients: every read/write retries EINTR, the
+/// process runs with SIGPIPE ignored (callers must IgnoreSigPipe before
+/// Start), and a response write to a vanished client is a logged no-op —
+/// a client dying mid-response can never take the daemon down
+/// (serve_test kills a client mid-stream to pin this).
+///
+/// Graceful drain: Shutdown() (idempotent, safe from the signal-watcher
+/// thread) stops accepting, wakes every blocked reader, closes the queue
+/// for admission, and lets the scorer finish every admitted request
+/// before Wait() returns. In-flight responses are written; late arrivals
+/// get `shutting_down`.
+class ServeDaemon {
+ public:
+  struct Config {
+    /// >= 0: TCP on 127.0.0.1:port (0 = ephemeral). < 0: stdio JSONL.
+    int port = -1;
+    BatchQueue::Config queue;
+  };
+
+  ServeDaemon(MatchService* service, Config config);
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon&) = delete;
+  ServeDaemon& operator=(const ServeDaemon&) = delete;
+
+  /// Binds (TCP) and spawns the transport + scorer threads.
+  core::Status Start();
+
+  /// Bound TCP port after Start (-1 in stdio mode).
+  int port() const { return port_; }
+
+  /// Begins the graceful drain; returns immediately. Idempotent.
+  void Shutdown();
+
+  /// Blocks until every transport thread has exited and the scorer has
+  /// drained the queue. In stdio mode, EOF on stdin completes the drain
+  /// without a Shutdown call.
+  void Wait();
+
+  BatchQueue::Stats queue_stats() const { return queue_.stats(); }
+
+ private:
+  struct Connection;
+
+  void AcceptLoop();
+  void ConnectionLoop(std::shared_ptr<Connection> conn);
+  void StdioLoop();
+  void ScorerLoop();
+
+  /// Parses one request payload and either answers it inline (info,
+  /// parse errors, shed) or admits it to the queue.
+  void HandlePayload(const std::shared_ptr<Connection>& conn,
+                     std::string_view payload);
+
+  /// Serializes and writes under the connection's write lock; a dead
+  /// client makes this a no-op, never an error.
+  static void WriteResponse(const std::shared_ptr<Connection>& conn,
+                            const MatchResponse& response);
+
+  /// Joins finished connection threads (called from the accept loop so a
+  /// long-lived daemon does not accumulate dead threads).
+  void ReapConnections(bool join_all);
+
+  MatchService* service_;
+  Config config_;
+  BatchQueue queue_;
+
+  int listen_fd_ = -1;
+  int port_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe to unblock the accept poll
+
+  std::thread accept_thread_;
+  std::thread stdio_thread_;
+  std::thread scorer_thread_;
+
+  struct ConnEntry {
+    std::thread thread;
+    std::shared_ptr<Connection> conn;
+  };
+  mutable std::mutex conns_mu_;
+  std::vector<ConnEntry> connections_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> shutting_down_{false};
+};
+
+}  // namespace promptem::serve
+
+#endif  // PROMPTEM_SERVE_SERVER_H_

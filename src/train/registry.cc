@@ -54,6 +54,17 @@ MatcherRegistrar::MatcherRegistrar(const char* name, MatcherFactory factory,
   MatcherRegistry::Instance().Register(name, std::move(factory), listed);
 }
 
+std::vector<std::array<float, 2>> Matcher::ScoreProbs(
+    const MatcherContext& ctx, const std::vector<data::PairExample>& pairs) {
+  const std::vector<int> labels = Predict(ctx, pairs);
+  std::vector<std::array<float, 2>> probs(labels.size());
+  for (size_t i = 0; i < labels.size(); ++i) {
+    probs[i] = labels[i] == 1 ? std::array<float, 2>{0.0f, 1.0f}
+                              : std::array<float, 2>{1.0f, 0.0f};
+  }
+  return probs;
+}
+
 MatcherResult RunMatcher(Matcher* matcher, const MatcherContext& ctx) {
   PROMPTEM_CHECK(matcher != nullptr);
   PROMPTEM_CHECK(ctx.lm != nullptr);

@@ -1,6 +1,7 @@
 #ifndef PROMPTEM_TRAIN_REGISTRY_H_
 #define PROMPTEM_TRAIN_REGISTRY_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -72,6 +73,18 @@ class Matcher {
   virtual std::vector<int> Predict(
       const MatcherContext& ctx,
       const std::vector<data::PairExample>& pairs) = 0;
+
+  /// {P(no), P(yes)} per pair — the scoring face the serving daemon and
+  /// the match pipeline rank by. Classifier-backed matchers override this
+  /// to run the batched engine (em::ScoreBatch) and return calibrated
+  /// probabilities; the default degrades to hard {1,0}/{0,1} one-hots
+  /// from Predict for matchers with no probabilistic head (TDmatch).
+  /// Deterministic per pair for a trained matcher: slot i is a pure
+  /// function of pairs[i], independent of batch composition — the
+  /// contract that makes response caching and request coalescing exact.
+  virtual std::vector<std::array<float, 2>> ScoreProbs(
+      const MatcherContext& ctx,
+      const std::vector<data::PairExample>& pairs);
 };
 
 using MatcherFactory = std::function<std::unique_ptr<Matcher>()>;

@@ -179,6 +179,35 @@ TEST(StringUtilTest, StrFormat) {
   EXPECT_EQ(StrFormat("%.2f", 1.234), "1.23");
 }
 
+TEST(StringUtilTest, ParseInt64AcceptsOnlyCompleteLiterals) {
+  long long value = 0;
+  EXPECT_TRUE(ParseInt64("42", &value));
+  EXPECT_EQ(value, 42);
+  EXPECT_TRUE(ParseInt64("-7", &value));
+  EXPECT_EQ(value, -7);
+  EXPECT_TRUE(ParseInt64("0", &value));
+  EXPECT_EQ(value, 0);
+  for (const char* bad : {"", " ", "12x", "x12", "1.5", "1e3", "0.1",
+                          "--3", "nan", "99999999999999999999"}) {
+    EXPECT_FALSE(ParseInt64(bad, &value)) << '"' << bad << '"';
+  }
+}
+
+TEST(StringUtilTest, ParseFiniteDoubleRejectsNanAndInf) {
+  double value = 0.0;
+  EXPECT_TRUE(ParseFiniteDouble("0.25", &value));
+  EXPECT_DOUBLE_EQ(value, 0.25);
+  EXPECT_TRUE(ParseFiniteDouble("-1e-3", &value));
+  EXPECT_DOUBLE_EQ(value, -1e-3);
+  // The atof hole these exist to close: strtod happily reads nan/inf,
+  // and every range check ('nan <= 0', 'nan > 1') is false — the value
+  // would sail through flag validation and poison later comparisons.
+  for (const char* bad : {"nan", "NaN", "-nan", "inf", "Infinity", "-inf",
+                          "", " ", "0.1x", "x0.1", "1..2", "1e999"}) {
+    EXPECT_FALSE(ParseFiniteDouble(bad, &value)) << '"' << bad << '"';
+  }
+}
+
 TEST(TimerTest, FormatDuration) {
   EXPECT_EQ(FormatDuration(26.64), "26.6s");
   EXPECT_EQ(FormatDuration(444.0), "7.4m");

@@ -8,6 +8,10 @@
 // flips and truncates bytes systematically (not randomly), so a failure
 // reproduces from the test name alone.
 
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <filesystem>
@@ -362,6 +366,55 @@ TEST(EmbedCacheFaultTest, SuccessfulSaveLeavesNoTempFile) {
   const std::string path = SaveReferenceEmbedCache(dir);
   EXPECT_TRUE(fs::exists(path));
   EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(EmbedCacheFaultTest, SigkillDuringAutosaveLeavesOldOrNewFileOnly) {
+  // The autosave crash contract: a process killed at ANY instant while
+  // inserting with periodic flushes enabled leaves either a previous
+  // complete file or the new one on disk — never a torn write. Each
+  // cached value is a pure function of its key, so the parent can verify
+  // whatever generation survived, not just that Load succeeds.
+  ScratchDir dir("promptem_fault_emb_kill");
+  const std::string path = dir.File("autosaved.embcache");
+  const auto value_for = [](uint64_t key) {
+    return std::vector<float>{static_cast<float>(key),
+                              static_cast<float>(key) * 0.25f};
+  };
+  for (const int delay_us : {0, 500, 1500, 4000, 9000, 20000}) {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      // Flush on every insert: the kill window is almost always inside
+      // an open tmp-file write.
+      em::EmbeddingCache cache(1u << 14);
+      cache.EnableAutosave(path, 1);
+      for (uint64_t key = 1;; ++key) {
+        cache.Insert(key, value_for(key));
+      }
+    }
+    ::usleep(static_cast<useconds_t>(delay_us));
+    ::kill(child, SIGKILL);
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(wstatus));
+
+    em::EmbeddingCache survivor(1u << 14);
+    const core::Status st = survivor.Load(path);
+    if (st.code() == core::StatusCode::kNotFound) {
+      continue;  // killed before the first rename landed — fine
+    }
+    ASSERT_TRUE(st.ok()) << "torn autosave after " << delay_us
+                         << "us: " << st.ToString();
+    EXPECT_GT(survivor.LiveEntries(), 0u);
+    for (uint64_t key = 1; key <= survivor.LiveEntries(); ++key) {
+      auto entry = survivor.Find(key);
+      ASSERT_NE(entry, nullptr) << "missing key " << key << " in a "
+                                << survivor.LiveEntries() << "-entry file";
+      EXPECT_EQ(*entry, value_for(key)) << "key " << key;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

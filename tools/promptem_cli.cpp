@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "baselines/matchers.h"
+#include "core/signals.h"
+#include "core/string_util.h"
 #include "core/table_printer.h"
 #include "core/timer.h"
 #include "data/benchmarks.h"
@@ -73,7 +75,11 @@ void PrintUsage() {
       "  --embed-cache PATH  persist pair embeddings (the clustering\n"
       "                  pseudo-label strategy's EmbedBatch output) to\n"
       "                  PATH: loaded at startup when present (a corrupt\n"
-      "                  file is rejected and rebuilt), saved at exit\n"
+      "                  file is rejected and rebuilt), saved at exit,\n"
+      "                  and flushed on SIGINT/SIGTERM\n"
+      "  --flush-every N with --embed-cache: additionally flush the cache\n"
+      "                  every N inserts (crash durability; default 0 =\n"
+      "                  only at exit and on signals)\n"
       "  --export DIR    write the dataset to DIR and exit\n"
       "promptem_cli --match-tables [--synthetic N | --left STEM --right STEM]\n"
       "             [--blocker B] [--block-top-k K] [--chunk-size C]\n"
@@ -138,24 +144,17 @@ std::optional<data::BenchmarkKind> KindByName(const std::string& name) {
 
 // Strict numeric option parsing: a value like "0.1x" or "" would
 // otherwise be silently read as 0 by atof/atoi and then abort deep inside
-// the split helpers; bad flags must instead exit 2 with a message.
+// the split helpers; bad flags must instead exit 2 with a message. The
+// core parsers additionally reject "nan"/"inf", which strtod accepts and
+// which then slip through range checks like `rate <= 0.0 || rate > 1.0`
+// (every comparison against NaN is false).
 
 bool ParseDoubleArg(const char* text, double* out) {
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(text, &end);
-  if (errno != 0 || end == text || *end != '\0') return false;
-  *out = v;
-  return true;
+  return core::ParseFiniteDouble(text, out);
 }
 
 bool ParseIntArg(const char* text, long long* out) {
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(text, &end, 10);
-  if (errno != 0 || end == text || *end != '\0') return false;
-  *out = v;
-  return true;
+  return core::ParseInt64(text, out);
 }
 
 [[noreturn]] void BadOption(const std::string& flag, const char* value,
@@ -194,6 +193,7 @@ uint64_t PackPair(int left, int right) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  core::IgnoreSigPipe();
   baselines::EnsureBaselineMatchersRegistered();
 
   std::string dataset_name;
@@ -218,6 +218,7 @@ int main(int argc, char** argv) {
   double threshold = 0.5;
   long long top_matches = 10;
   long long incremental_rows = 0;
+  long long flush_every = 0;
   std::string embed_cache_path;
   std::string pseudo_strategy = "uncertainty";
 
@@ -342,6 +343,11 @@ int main(int argc, char** argv) {
       if (embed_cache_path.empty()) {
         BadOption(arg, "", "a non-empty path");
       }
+    } else if (arg == "--flush-every") {
+      const char* value = next();
+      if (!ParseIntArg(value, &flush_every) || flush_every < 0) {
+        BadOption(arg, value, "a non-negative insert count");
+      }
     } else if (arg == "--pseudo") {
       pseudo_strategy = next();
       em::PseudoLabelStrategy parsed;
@@ -357,6 +363,10 @@ int main(int argc, char** argv) {
 
   if (incremental_rows > 0 && !match_tables) {
     std::fprintf(stderr, "--incremental requires --match-tables\n");
+    return 2;
+  }
+  if (flush_every > 0 && embed_cache_path.empty()) {
+    std::fprintf(stderr, "--flush-every requires --embed-cache\n");
     return 2;
   }
 
@@ -399,6 +409,27 @@ int main(int argc, char** argv) {
                  "--left/--right tables have no training pairs; supply "
                  "training data with --dataset or --dir\n");
     return 2;
+  }
+
+  // A Ctrl-C mid-run used to lose every warm embedding (the cache was
+  // only saved at the end of a successful run). Install the watcher
+  // before any pool thread exists — later threads inherit the blocked
+  // mask, so the signal can only surface in the watcher, which flushes
+  // through the same atomic tmp+rename path and exits with the
+  // conventional signal status. Without --embed-cache nothing needs
+  // flushing and the default die-on-signal disposition stays.
+  if (!embed_cache_path.empty()) {
+    core::InstallShutdownHandler([](int signum) {
+      auto cache = em::GetGlobalEmbeddingCache();
+      if (cache != nullptr) {
+        const core::Status saved = cache->FlushNow();
+        if (!saved.ok()) {
+          std::fprintf(stderr, "embed cache: signal flush failed: %s\n",
+                       saved.ToString().c_str());
+        }
+      }
+      std::_Exit(128 + signum);
+    });
   }
 
   // Resolve the (training) dataset.
@@ -546,6 +577,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "embed cache: rejected %s (%s); rebuilding\n",
                    embed_cache_path.c_str(), loaded.ToString().c_str());
     }
+    // EnableAutosave before publishing: the signal watcher installed at
+    // startup flushes whatever the global pointer holds.
+    embed_cache->EnableAutosave(embed_cache_path,
+                                static_cast<size_t>(flush_every));
     em::SetGlobalEmbeddingCache(embed_cache);
   }
 
@@ -637,14 +672,7 @@ int main(int argc, char** argv) {
             return em::ChunkScoreFn(
                 [matcher_ptr,
                  &inc_ctx](const std::vector<data::PairExample>& chunk) {
-                  const std::vector<int> labels =
-                      matcher_ptr->Predict(inc_ctx, chunk);
-                  std::vector<em::ProbPair> probs(labels.size());
-                  for (size_t i = 0; i < labels.size(); ++i) {
-                    probs[i] = labels[i] == 1 ? em::ProbPair{0.0f, 1.0f}
-                                              : em::ProbPair{1.0f, 0.0f};
-                  }
-                  return probs;
+                  return matcher_ptr->ScoreProbs(inc_ctx, chunk);
                 });
           },
           [&blocker_name, block_top_k](const data::GemDataset& ds) {

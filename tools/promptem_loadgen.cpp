@@ -1,0 +1,311 @@
+// promptem_loadgen — closed-loop load generator for promptem_serve.
+//
+// Each client thread keeps exactly one request in flight: connect,
+// send, wait for the response, repeat. N clients therefore offer the
+// daemon up to N concurrent requests, which is precisely what its
+// admission queue coalesces into batched scoring sweeps — the reported
+// "batch" field shows the coalescing the daemon actually achieved.
+//
+// Usage:
+//   promptem_loadgen --port P [--clients N] [--requests N] [--pairs N]
+//                    [--matcher M] [--deadline-ms D] [--seed S]
+//
+// Prints per-status counts, latency percentiles, and throughput. Exits
+// nonzero on any transport/protocol error or if no request succeeded —
+// shed ("overloaded") and expired responses are counted, not fatal:
+// they are the daemon's documented degradation modes.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/signals.h"
+#include "core/string_util.h"
+#include "data/json.h"
+#include "data/record.h"
+#include "serve/protocol.h"
+
+namespace {
+
+using namespace promptem;
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void BadOption(const std::string& flag, const char* value,
+                            const char* expected) {
+  std::fprintf(stderr, "bad value '%s' for %s (expected %s)\n", value,
+               flag.c_str(), expected);
+  std::exit(2);
+}
+
+int ConnectLoopback(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One frame round trip; false on any transport or parse failure.
+bool RoundTrip(int fd, const serve::MatchRequest& request,
+               serve::MatchResponse* response) {
+  if (!serve::WriteFrame(fd, serve::SerializeRequest(request)).ok()) {
+    return false;
+  }
+  std::string payload;
+  if (!serve::ReadFrame(fd, &payload).ok()) return false;
+  core::Result<serve::MatchResponse> parsed =
+      serve::ParseMatchResponse(payload);
+  if (!parsed.ok()) return false;
+  *response = std::move(parsed).value();
+  return true;
+}
+
+struct ClientTally {
+  std::vector<double> latencies_us;
+  uint64_t ok = 0;
+  uint64_t overloaded = 0;
+  uint64_t expired = 0;
+  uint64_t other = 0;
+  uint64_t transport_errors = 0;
+  uint64_t batch_sum = 0;  ///< coalesced width summed over ok responses
+};
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  const size_t index = std::min(
+      sorted->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted->size())));
+  return (*sorted)[index];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::IgnoreSigPipe();
+
+  long long port = -1;
+  long long clients = 4;
+  long long requests = 100;
+  long long pairs_per_request = 8;
+  long long deadline_ms = 0;
+  std::string matcher;
+  uint64_t seed = 42;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      const char* value = next();
+      if (!core::ParseInt64(value, &port) || port < 1 || port > 65535) {
+        BadOption(arg, value, "a port in [1, 65535]");
+      }
+    } else if (arg == "--clients") {
+      const char* value = next();
+      if (!core::ParseInt64(value, &clients) || clients < 1 ||
+          clients > 1024) {
+        BadOption(arg, value, "a client count in [1, 1024]");
+      }
+    } else if (arg == "--requests") {
+      const char* value = next();
+      if (!core::ParseInt64(value, &requests) || requests < 1) {
+        BadOption(arg, value, "a positive request count");
+      }
+    } else if (arg == "--pairs") {
+      const char* value = next();
+      if (!core::ParseInt64(value, &pairs_per_request) ||
+          pairs_per_request < 1 ||
+          static_cast<size_t>(pairs_per_request) >
+              serve::kMaxPairsPerRequest) {
+        BadOption(arg, value, "a pair count within the per-request cap");
+      }
+    } else if (arg == "--deadline-ms") {
+      const char* value = next();
+      if (!core::ParseInt64(value, &deadline_ms) || deadline_ms < 0) {
+        BadOption(arg, value, "a non-negative deadline");
+      }
+    } else if (arg == "--matcher") {
+      matcher = next();
+    } else if (arg == "--seed") {
+      long long parsed = 0;
+      const char* value = next();
+      if (!core::ParseInt64(value, &parsed) || parsed < 0) {
+        BadOption(arg, value, "a non-negative integer");
+      }
+      seed = static_cast<uint64_t>(parsed);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (port < 0) {
+    std::fprintf(stderr, "--port is required\n");
+    return 2;
+  }
+
+  // Table sizes from the daemon itself: the request space must match
+  // whatever catalog it loaded.
+  long long left_rows = 0;
+  long long right_rows = 0;
+  {
+    const int fd = ConnectLoopback(static_cast<int>(port));
+    if (fd < 0) {
+      std::fprintf(stderr, "cannot connect to 127.0.0.1:%lld\n", port);
+      return 1;
+    }
+    serve::MatchRequest info;
+    info.id = 1;
+    info.op = serve::RequestOp::kInfo;
+    serve::MatchResponse response;
+    const bool ok = RoundTrip(fd, info, &response);
+    ::close(fd);
+    if (!ok || response.status != serve::ResponseStatus::kOk) {
+      std::fprintf(stderr, "info request failed\n");
+      return 1;
+    }
+    core::Result<data::Value> parsed = data::ParseJson(response.info);
+    if (!parsed.ok() || !parsed.value().is_object()) {
+      std::fprintf(stderr, "unparseable info payload: %s\n",
+                   response.info.c_str());
+      return 1;
+    }
+    for (const auto& [key, value] : parsed.value().as_object()) {
+      if (key == "left_rows" && value.is_number()) {
+        left_rows = static_cast<long long>(value.as_number());
+      } else if (key == "right_rows" && value.is_number()) {
+        right_rows = static_cast<long long>(value.as_number());
+      }
+    }
+    if (left_rows < 1 || right_rows < 1) {
+      std::fprintf(stderr, "daemon reports empty tables\n");
+      return 1;
+    }
+  }
+
+  std::vector<ClientTally> tallies(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  const auto start = Clock::now();
+  for (long long c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientTally& tally = tallies[static_cast<size_t>(c)];
+      const int fd = ConnectLoopback(static_cast<int>(port));
+      if (fd < 0) {
+        tally.transport_errors += static_cast<uint64_t>(requests);
+        return;
+      }
+      core::Rng rng(seed + static_cast<uint64_t>(c) * 7919);
+      for (long long r = 0; r < requests; ++r) {
+        serve::MatchRequest request;
+        request.id = static_cast<uint64_t>(c * requests + r + 2);
+        request.matcher = matcher;
+        request.deadline_ms = deadline_ms;
+        request.pairs.resize(static_cast<size_t>(pairs_per_request));
+        for (auto& pair : request.pairs) {
+          pair.left_index =
+              static_cast<int>(rng.NextU64(static_cast<uint64_t>(left_rows)));
+          pair.right_index = static_cast<int>(
+              rng.NextU64(static_cast<uint64_t>(right_rows)));
+          pair.label = data::kUnlabeledLabel;
+        }
+        const auto sent = Clock::now();
+        serve::MatchResponse response;
+        if (!RoundTrip(fd, request, &response)) {
+          ++tally.transport_errors;
+          break;  // stream is unusable once a frame fails
+        }
+        const double us =
+            std::chrono::duration<double, std::micro>(Clock::now() - sent)
+                .count();
+        switch (response.status) {
+          case serve::ResponseStatus::kOk:
+            ++tally.ok;
+            tally.batch_sum += response.batch_size;
+            tally.latencies_us.push_back(us);
+            break;
+          case serve::ResponseStatus::kOverloaded:
+            ++tally.overloaded;
+            break;
+          case serve::ResponseStatus::kDeadlineExceeded:
+            ++tally.expired;
+            break;
+          default:
+            ++tally.other;
+            break;
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  ClientTally total;
+  for (const ClientTally& tally : tallies) {
+    total.ok += tally.ok;
+    total.overloaded += tally.overloaded;
+    total.expired += tally.expired;
+    total.other += tally.other;
+    total.transport_errors += tally.transport_errors;
+    total.batch_sum += tally.batch_sum;
+    total.latencies_us.insert(total.latencies_us.end(),
+                              tally.latencies_us.begin(),
+                              tally.latencies_us.end());
+  }
+  std::sort(total.latencies_us.begin(), total.latencies_us.end());
+
+  std::printf("clients %lld, requests/client %lld, pairs/request %lld\n",
+              clients, requests, pairs_per_request);
+  std::printf(
+      "ok %llu, overloaded %llu, deadline_exceeded %llu, other %llu, "
+      "transport errors %llu\n",
+      static_cast<unsigned long long>(total.ok),
+      static_cast<unsigned long long>(total.overloaded),
+      static_cast<unsigned long long>(total.expired),
+      static_cast<unsigned long long>(total.other),
+      static_cast<unsigned long long>(total.transport_errors));
+  if (total.ok > 0) {
+    std::printf("latency us: p50 %.0f, p95 %.0f, p99 %.0f, max %.0f\n",
+                Percentile(&total.latencies_us, 0.50),
+                Percentile(&total.latencies_us, 0.95),
+                Percentile(&total.latencies_us, 0.99),
+                total.latencies_us.back());
+    std::printf("throughput: %.1f req/s, %.1f pairs/s, avg batch %.2f\n",
+                static_cast<double>(total.ok) / elapsed,
+                static_cast<double>(total.ok) *
+                    static_cast<double>(pairs_per_request) / elapsed,
+                static_cast<double>(total.batch_sum) /
+                    static_cast<double>(total.ok));
+  }
+  if (total.transport_errors > 0 || total.other > 0 || total.ok == 0) {
+    return 1;
+  }
+  return 0;
+}
