@@ -1,5 +1,8 @@
 #include "core/mem_tracker.h"
 
+#include <cstdio>
+#include <cstring>
+
 namespace promptem::core {
 
 std::atomic<size_t> MemTracker::current_{0};
@@ -33,6 +36,28 @@ size_t MemTracker::PeakBytes() { return peak_.load(std::memory_order_relaxed); }
 void MemTracker::ResetPeak() {
   peak_.store(current_.load(std::memory_order_relaxed),
               std::memory_order_relaxed);
+}
+
+size_t MemTracker::ProcessPeakRssBytes() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  size_t peak_kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      unsigned long long kb = 0;
+      if (std::sscanf(line + 6, "%llu", &kb) == 1) {
+        peak_kb = static_cast<size_t>(kb);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return peak_kb * 1024;
+#else
+  return 0;
+#endif
 }
 
 }  // namespace promptem::core

@@ -31,6 +31,15 @@ class MemTracker {
   /// Resets the high-water mark to the current live size.
   static void ResetPeak();
 
+  /// Process-wide peak resident set (VmHWM from /proc/self/status), in
+  /// bytes; 0 where unavailable. Unlike the tensor counters above this
+  /// sees *everything* — index arenas, mmap page residency, malloc —
+  /// which is what the --blocking-report memory line needs to make the
+  /// in-RAM vs mmap trade measurable. Note the kernel never lowers the
+  /// high-water mark, so this is a whole-process number, not a scoped
+  /// one.
+  static size_t ProcessPeakRssBytes();
+
  private:
   static std::atomic<size_t> current_;
   static std::atomic<size_t> peak_;

@@ -1,9 +1,12 @@
 #include "data/blocking.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <cmath>
 #include <map>
 #include <set>
+#include <string>
 #include <unordered_set>
 
 #include "core/status.h"
@@ -369,50 +372,166 @@ MinHashBlocker::MinHashBlocker(const std::vector<Record>& left_table,
                       }
                     });
 
-  // ...then sorted per band into (key, right) arrays probed with
-  // equal_range. Only band keys are retained — O(bands * right) memory,
-  // no per-record signatures — which is what lets the index fit at 1M
-  // rows. Bands are independent, so the sorts run across the pool too.
-  band_keys_.assign(static_cast<size_t>(bands), {});
-  band_rights_.assign(static_cast<size_t>(bands), {});
-  core::ParallelFor(0, bands, 1, [&](int64_t begin, int64_t end) {
-    for (int64_t b = begin; b < end; ++b) {
-      const uint64_t* keys = flat.data() + static_cast<size_t>(b) * right_size_;
-      std::vector<int32_t> order(right_size_);
-      for (size_t j = 0; j < right_size_; ++j) {
-        order[j] = static_cast<int32_t>(j);
+  // ...then packed per band into key -> ascending-rights tables. Only
+  // band keys are retained — O(bands * right) memory, no per-record
+  // signatures — which is what lets the index fit at 1M rows.
+  if (config_.index_backend == IndexBackend::kSortedArray) {
+    // Legacy backend: sorted (key, right) arrays probed with
+    // equal_range. Bands are independent, so the sorts run across the
+    // pool.
+    band_keys_.assign(static_cast<size_t>(bands), {});
+    band_rights_.assign(static_cast<size_t>(bands), {});
+    core::ParallelFor(0, bands, 1, [&](int64_t begin, int64_t end) {
+      for (int64_t b = begin; b < end; ++b) {
+        const uint64_t* keys =
+            flat.data() + static_cast<size_t>(b) * right_size_;
+        std::vector<int32_t> order(right_size_);
+        for (size_t j = 0; j < right_size_; ++j) {
+          order[j] = static_cast<int32_t>(j);
+        }
+        std::sort(order.begin(), order.end(), [&](int32_t a, int32_t c) {
+          return keys[static_cast<size_t>(a)] != keys[static_cast<size_t>(c)]
+                     ? keys[static_cast<size_t>(a)] <
+                           keys[static_cast<size_t>(c)]
+                     : a < c;
+        });
+        auto& bk = band_keys_[static_cast<size_t>(b)];
+        auto& br = band_rights_[static_cast<size_t>(b)];
+        bk.resize(right_size_);
+        br.resize(right_size_);
+        for (size_t j = 0; j < right_size_; ++j) {
+          bk[j] = keys[static_cast<size_t>(order[j])];
+          br[j] = order[j];
+        }
       }
-      std::sort(order.begin(), order.end(), [&](int32_t a, int32_t c) {
-        return keys[static_cast<size_t>(a)] != keys[static_cast<size_t>(c)]
-                   ? keys[static_cast<size_t>(a)] < keys[static_cast<size_t>(c)]
-                   : a < c;
-      });
-      auto& bk = band_keys_[static_cast<size_t>(b)];
-      auto& br = band_rights_[static_cast<size_t>(b)];
-      bk.resize(right_size_);
-      br.resize(right_size_);
-      for (size_t j = 0; j < right_size_; ++j) {
-        bk[j] = keys[static_cast<size_t>(order[j])];
-        br[j] = order[j];
+    });
+    for (const auto& bk : band_keys_) {
+      for (size_t j = 0; j < bk.size();) {
+        size_t k = j;
+        while (k < bk.size() && bk[k] == bk[j]) ++k;
+        if (k - j > bucket_cap_) ++buckets_over_cap_;
+        j = k;
       }
     }
-  });
+    return;
+  }
+
+  // HashIndex backends: one postings index per band. AddPosting uses
+  // rank = right, so a key's sealed list is the rights ascending —
+  // byte-for-byte the segment the sorted arrays cover with equal_range.
+  const bool mmap_backed =
+      config_.index_backend == IndexBackend::kHashIndexMmap;
+  if (mmap_backed) {
+    PROMPTEM_CHECK_MSG(!config_.index_dir.empty(),
+                       "kHashIndexMmap requires Config::index_dir");
+    ::mkdir(config_.index_dir.c_str(), 0755);  // EEXIST is fine
+  }
+  band_index_.resize(static_cast<size_t>(bands));
+  auto build_band = [&](int64_t b) {
+    core::HashIndex::Options options;
+    options.backend = mmap_backed ? core::HashIndex::Backend::kMmap
+                                  : core::HashIndex::Backend::kRam;
+    if (mmap_backed) {
+      options.path =
+          config_.index_dir + "/band_" + std::to_string(b) + ".phx";
+    }
+    auto index = std::make_unique<core::HashIndex>(options);
+    const uint64_t* keys = flat.data() + static_cast<size_t>(b) * right_size_;
+    if (mmap_backed) {
+      // Sharded-lock parallel insert within the band (the outer loop is
+      // sequential here to bound staging memory to one band at a time).
+      core::ParallelFor(0, static_cast<int64_t>(right_size_), 1024,
+                        [&](int64_t begin, int64_t end) {
+                          for (int64_t j = begin; j < end; ++j) {
+                            index->AddPosting(keys[static_cast<size_t>(j)],
+                                              static_cast<int32_t>(j));
+                          }
+                        });
+    } else {
+      for (size_t j = 0; j < right_size_; ++j) {
+        index->AddPosting(keys[j], static_cast<int32_t>(j));
+      }
+    }
+    const core::Status sealed = index->Seal();
+    PROMPTEM_CHECK_MSG(sealed.ok(), sealed.ToString().c_str());
+    band_index_[static_cast<size_t>(b)] = std::move(index);
+  };
+  if (mmap_backed) {
+    // One band's staging at a time: the sealed bytes land in the band
+    // file, so peak heap stays O(right), not O(bands * right).
+    for (int64_t b = 0; b < bands; ++b) build_band(b);
+  } else {
+    core::ParallelFor(0, bands, 1, [&](int64_t begin, int64_t end) {
+      for (int64_t b = begin; b < end; ++b) build_band(b);
+    });
+  }
+  band_snap_.reserve(static_cast<size_t>(bands));
+  for (const auto& index : band_index_) {
+    band_snap_.push_back(index->snapshot());
+    band_snap_.back().ForEach(
+        [&](uint64_t, core::HashIndex::Span payload) {
+          if (payload.size / sizeof(int32_t) > bucket_cap_) {
+            ++buckets_over_cap_;
+          }
+        });
+  }
+}
+
+MinHashBlocker::IndexStats MinHashBlocker::index_stats() const {
+  IndexStats stats;
+  stats.buckets_over_cap = buckets_over_cap_;
+  stats.capped_probes = capped_probes_.load(std::memory_order_relaxed);
+  if (config_.index_backend == IndexBackend::kSortedArray) {
+    for (size_t b = 0; b < band_keys_.size(); ++b) {
+      const uint64_t bytes =
+          band_keys_[b].size() * sizeof(uint64_t) +
+          band_rights_[b].size() * sizeof(int32_t);
+      stats.band_bytes.push_back(bytes);
+      stats.ram_bytes += bytes;
+    }
+    return stats;
+  }
+  for (const auto& snap : band_snap_) {
+    const uint64_t bytes = snap.ram_bytes() + snap.file_bytes();
+    stats.band_bytes.push_back(bytes);
+    stats.ram_bytes += snap.ram_bytes();
+    stats.file_bytes += snap.file_bytes();
+  }
+  return stats;
 }
 
 void MinHashBlocker::CandidatesForLeft(int left_index,
                                        std::vector<PairExample>* out) const {
   const auto keys = BandKeys((*left_table_)[static_cast<size_t>(left_index)]);
+  const bool legacy = config_.index_backend == IndexBackend::kSortedArray;
   std::vector<int32_t> hits;
   for (int b = 0; b < config_.num_bands; ++b) {
-    const auto& bk = band_keys_[static_cast<size_t>(b)];
-    const auto& br = band_rights_[static_cast<size_t>(b)];
-    const auto range = std::equal_range(bk.begin(), bk.end(),
-                                        keys[static_cast<size_t>(b)]);
-    const size_t lo = static_cast<size_t>(range.first - bk.begin());
-    const size_t hi = static_cast<size_t>(range.second - bk.begin());
-    if (hi - lo > bucket_cap_) continue;  // boilerplate bucket, no signal
-    hits.insert(hits.end(), br.begin() + static_cast<ptrdiff_t>(lo),
-                br.begin() + static_cast<ptrdiff_t>(hi));
+    if (legacy) {
+      const auto& bk = band_keys_[static_cast<size_t>(b)];
+      const auto& br = band_rights_[static_cast<size_t>(b)];
+      const auto range = std::equal_range(bk.begin(), bk.end(),
+                                          keys[static_cast<size_t>(b)]);
+      const size_t lo = static_cast<size_t>(range.first - bk.begin());
+      const size_t hi = static_cast<size_t>(range.second - bk.begin());
+      if (hi - lo > bucket_cap_) {  // boilerplate bucket, no signal
+        capped_probes_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      hits.insert(hits.end(), br.begin() + static_cast<ptrdiff_t>(lo),
+                  br.begin() + static_cast<ptrdiff_t>(hi));
+      continue;
+    }
+    const int32_t* values = nullptr;
+    size_t count = 0;
+    if (!band_snap_[static_cast<size_t>(b)].FindPostings(
+            keys[static_cast<size_t>(b)], &values, &count)) {
+      continue;
+    }
+    if (count > bucket_cap_) {  // boilerplate bucket, no signal
+      capped_probes_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    hits.insert(hits.end(), values, values + count);
   }
   if (hits.empty()) return;
   std::sort(hits.begin(), hits.end());

@@ -1,9 +1,13 @@
 #ifndef PROMPTEM_DATA_BLOCKING_H_
 #define PROMPTEM_DATA_BLOCKING_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "core/hash_index.h"
 #include "data/dataset.h"
 
 namespace promptem::data {
@@ -166,6 +170,17 @@ class OverlapBlocker : public LeftStreamBlocker {
 /// signature retained.
 class MinHashBlocker : public LeftStreamBlocker {
  public:
+  /// Backing store for the per-band key -> rights tables. All three
+  /// produce bitwise-identical candidate streams (pinned by
+  /// hash_index_test): a posting list under a band key is the rights
+  /// ascending, exactly the segment the legacy sorted arrays cover with
+  /// equal_range.
+  enum class IndexBackend {
+    kSortedArray,    ///< legacy per-band sorted (key, right) arrays
+    kHashIndexRam,   ///< core::HashIndex postings, in-RAM arena
+    kHashIndexMmap,  ///< core::HashIndex postings, mmap files in index_dir
+  };
+
   struct Config {
     int num_hashes = 32;   ///< signature length = num_bands * rows/band
     int num_bands = 16;    ///< bands of num_hashes / num_bands rows each
@@ -182,6 +197,23 @@ class MinHashBlocker : public LeftStreamBlocker {
     /// so skipping huge buckets costs almost no recall.
     size_t max_bucket_cap = 2048;
     uint64_t seed = 0x5EEDB10CULL;  ///< hash-family seed
+    IndexBackend index_backend = IndexBackend::kHashIndexRam;
+    /// Directory holding the per-band index files ("band_<b>.phx") for
+    /// kHashIndexMmap (created if missing; ignored otherwise). The files
+    /// outlive the blocker — they ARE the beyond-RAM index.
+    std::string index_dir;
+  };
+
+  /// Memory observability for --blocking-report: where the band tables
+  /// live (heap vs file) and how often the bucket cap fires.
+  struct IndexStats {
+    std::vector<uint64_t> band_bytes;  ///< sealed index bytes per band
+    uint64_t ram_bytes = 0;            ///< sealed heap bytes, all bands
+    uint64_t file_bytes = 0;           ///< on-disk bytes, all bands
+    /// Buckets larger than the cap (dead weight the cap disables).
+    uint64_t buckets_over_cap = 0;
+    /// Probes that hit such a bucket and were skipped so far.
+    uint64_t capped_probes = 0;
   };
 
   MinHashBlocker(const std::vector<Record>& left_table,
@@ -198,6 +230,10 @@ class MinHashBlocker : public LeftStreamBlocker {
   /// Band keys of one record (exposed for tests / diagnostics).
   std::vector<uint64_t> BandKeys(const Record& record) const;
 
+  /// Index memory/eviction counters (capped_probes accumulates as the
+  /// stream is drained).
+  IndexStats index_stats() const;
+
  protected:
   void CandidatesForLeft(int left_index,
                          std::vector<PairExample>* out) const override;
@@ -207,10 +243,16 @@ class MinHashBlocker : public LeftStreamBlocker {
   const std::vector<Record>* left_table_;  // not owned; must outlive this
   size_t right_size_ = 0;
   size_t bucket_cap_ = 0;
-  /// Per band: right-record band keys sorted ascending (ties by right
-  /// index), probed with equal_range.
+  /// kSortedArray backend — per band: right-record band keys sorted
+  /// ascending (ties by right index), probed with equal_range.
   std::vector<std::vector<uint64_t>> band_keys_;
   std::vector<std::vector<int32_t>> band_rights_;
+  /// kHashIndex* backends — per band: key -> ascending rights postings.
+  /// Snapshots are pinned once at build, so probes are wait-free.
+  std::vector<std::unique_ptr<core::HashIndex>> band_index_;
+  std::vector<core::HashIndex::Snapshot> band_snap_;
+  uint64_t buckets_over_cap_ = 0;
+  mutable std::atomic<uint64_t> capped_probes_{0};
 };
 
 /// Blocking quality: pair completeness = fraction of gold matches kept;

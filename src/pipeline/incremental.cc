@@ -124,13 +124,37 @@ MatchPipelineResult IncrementalMatcher::Match() {
         std::vector<ProbPair> probs(chunk.size());
         std::vector<size_t> misses;
         std::vector<uint64_t> keys(chunk.size());
+        // A pair is restart-stable while both its records are still at
+        // version 0: its persistent key is a pure function of table
+        // indexes + content fingerprints, so a previous process's score
+        // is bitwise the score this one would compute.
+        auto persistent_key = [this](const data::PairExample& p,
+                                     uint64_t* key) {
+          if (!config_.persistent) return false;
+          if (left_version_[static_cast<size_t>(p.left_index)] != 0 ||
+              right_version_[static_cast<size_t>(p.right_index)] != 0) {
+            return false;
+          }
+          *key = EmbeddingCache::PairKey(config_.persistent_tag,
+                                         p.left_index, p.right_index);
+          return true;
+        };
         for (size_t i = 0; i < chunk.size(); ++i) {
           keys[i] = PairScoreKey(chunk[i].left_index, chunk[i].right_index);
           if (auto hit = score_cache_.Find(keys[i])) {
             probs[i] = *hit;
-          } else {
-            misses.push_back(i);
+            continue;
           }
+          uint64_t pkey = 0;
+          if (persistent_key(chunk[i], &pkey)) {
+            if (auto persisted = config_.persistent->Find(pkey);
+                persisted && persisted->size() == 2) {
+              probs[i] = ProbPair{(*persisted)[0], (*persisted)[1]};
+              score_cache_.Insert(keys[i], probs[i]);
+              continue;
+            }
+          }
+          misses.push_back(i);
         }
         stats.reused += chunk.size() - misses.size();
         stats.rescored += misses.size();
@@ -143,6 +167,11 @@ MatchPipelineResult IncrementalMatcher::Match() {
           for (size_t m = 0; m < misses.size(); ++m) {
             probs[misses[m]] = computed[m];
             score_cache_.Insert(keys[misses[m]], computed[m]);
+            uint64_t pkey = 0;
+            if (persistent_key(chunk[misses[m]], &pkey)) {
+              config_.persistent->Insert(
+                  pkey, std::vector<float>{computed[m][0], computed[m][1]});
+            }
           }
         }
         return probs;

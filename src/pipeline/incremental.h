@@ -7,6 +7,7 @@
 
 #include "core/concurrent_cache.h"
 #include "pipeline/match_pipeline.h"
+#include "promptem/embed_cache.h"
 
 namespace promptem::em {
 
@@ -78,6 +79,18 @@ class IncrementalMatcher {
     /// When set, upserts/deletes also drop the encoder's token memo for
     /// the changed record (pass the encoder the scorer uses).
     const PairEncoder* encoder = nullptr;
+    /// Restart-stable persistence seam. The in-process score cache is
+    /// version-keyed with in-process counters, so it cannot survive a
+    /// restart; pairs whose records are both still at version 0 (i.e.
+    /// bitwise the constructed tables) additionally consult/populate
+    /// this shared EmbeddingCache under `persistent_tag`, so a fresh
+    /// matcher over the same corpus re-scores nothing a previous
+    /// process already scored — through the cache's mmap backing, the
+    /// warm start never materializes the full store.
+    std::shared_ptr<EmbeddingCache> persistent;
+    /// Content-fingerprint tag (EmbeddingCache::ContextTag) scoping the
+    /// persistent keys to this dataset + scorer.
+    uint64_t persistent_tag = 0;
   };
 
   IncrementalMatcher(data::GemDataset dataset, const ScorerFactory& scorer,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <unordered_set>
 #include <utility>
 
 #include "core/hashing.h"
@@ -106,6 +107,65 @@ uint64_t EmbeddingCache::PairKey(uint64_t context_tag, int left_index,
   return core::Combine64(context_tag, pair);
 }
 
+std::shared_ptr<const std::vector<float>> EmbeddingCache::Find(uint64_t key) {
+  if (auto hit = cache_.Find(key)) return hit;
+  if (!base_) return nullptr;
+  // Fall through to the mapped store: the entry is copied out of the
+  // mapping on first touch only — a restart never materializes the
+  // untouched remainder of the file.
+  const core::HashIndex::Span span = base_->snapshot().Find(key);
+  if (span.data == nullptr || span.size % sizeof(float) != 0) return nullptr;
+  auto value = std::make_shared<std::vector<float>>(span.size / sizeof(float));
+  std::memcpy(value->data(), span.data, static_cast<size_t>(span.size));
+  // Read-through into the overlay so repeat touches stay in-process.
+  // Straight into cache_ (not Insert) so warm reads never trip autosave.
+  cache_.Insert(key, *value);
+  return value;
+}
+
+core::Status EmbeddingCache::Attach(const std::string& path,
+                                    CacheBackend backend) {
+  backend_ = backend;
+  if (backend == CacheBackend::kRam) return Load(path);
+  attach_path_ = path;
+  const auto fresh_index = [&] {
+    core::HashIndex::Options options;
+    options.backend = core::HashIndex::Backend::kMmap;
+    options.path = path;
+    return std::make_shared<core::HashIndex>(options);
+  };
+  uint64_t file_size = 0;
+  if (!FileSize(path, &file_size)) {
+    // Cold start: no store yet. The binding is live — the first flush
+    // creates the file — but report NotFound so callers can say so.
+    base_ = fresh_index();
+    return core::Status::NotFound("cannot open: " + path);
+  }
+  char magic[8] = {0};
+  {
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (f && std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic)) {
+      std::memset(magic, 0, sizeof(magic));
+    }
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) == 0) {
+    // A legacy flat file: load it into the overlay once; the next flush
+    // rewrites `path` in the index format.
+    base_ = fresh_index();
+    return Load(path);
+  }
+  auto opened = core::HashIndex::Open(path);
+  if (!opened.ok()) {
+    // Corrupt store: rejected wholesale (no partial load), but the
+    // binding stays live so the rebuild's next flush replaces the bad
+    // file with a valid index.
+    base_ = fresh_index();
+    return opened.status();
+  }
+  base_ = std::move(opened).value();
+  return core::Status::OK();
+}
+
 void EmbeddingCache::Insert(uint64_t key, std::vector<float> embedding) {
   cache_.Insert(key, std::move(embedding));
   const size_t every = autosave_every_.load(std::memory_order_relaxed);
@@ -162,6 +222,23 @@ core::Status EmbeddingCache::Save(const std::string& path) const {
 }
 
 core::Status EmbeddingCache::SaveUnlocked(const std::string& path) const {
+  if (backend_ == CacheBackend::kMmap && base_ && path == attach_path_) {
+    // Only the overlay (the dirty region) is staged; everything already
+    // persisted streams file -> file inside Seal's atomic tmp+rename
+    // grow. Re-staging an unchanged entry replaces it with identical
+    // bytes, so repeated flushes converge on the same image.
+    cache_.ForEachLive(
+        [&](uint64_t key,
+            const std::shared_ptr<const std::vector<float>>& v) {
+          base_->Add(key, 0, v->data(), v->size() * sizeof(float));
+        });
+    return base_->Seal();
+  }
+  return SaveLegacyUnlocked(path);
+}
+
+core::Status EmbeddingCache::SaveLegacyUnlocked(
+    const std::string& path) const {
   // Snapshot and sort so identical cache contents always serialize to an
   // identical byte image (ForEachLive order is shard-layout dependent).
   std::vector<std::pair<uint64_t, std::shared_ptr<const std::vector<float>>>>
@@ -170,6 +247,22 @@ core::Status EmbeddingCache::SaveUnlocked(const std::string& path) const {
                          const std::shared_ptr<const std::vector<float>>& v) {
     entries.emplace_back(key, v);
   });
+  if (base_) {
+    // Exporting an mmap-backed cache to a flat file: persisted entries
+    // the overlay does not shadow come along too.
+    std::unordered_set<uint64_t> overlay_keys;
+    overlay_keys.reserve(entries.size());
+    for (const auto& [key, value] : entries) overlay_keys.insert(key);
+    base_->snapshot().ForEach([&](uint64_t key, core::HashIndex::Span span) {
+      if (overlay_keys.count(key) != 0 || span.size % sizeof(float) != 0) {
+        return;
+      }
+      auto value =
+          std::make_shared<std::vector<float>>(span.size / sizeof(float));
+      std::memcpy(value->data(), span.data, static_cast<size_t>(span.size));
+      entries.emplace_back(key, std::move(value));
+    });
+  }
   std::sort(entries.begin(), entries.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   if (entries.size() > static_cast<size_t>(UINT32_MAX)) {
@@ -217,9 +310,13 @@ core::Status EmbeddingCache::Load(const std::string& path) {
   if (!f) return core::Status::NotFound("cannot open: " + path);
   HashingReader r(f.get(), file_size);
 
-  auto corrupt = [&path](const std::string& what) {
-    return core::Status::InvalidArgument("corrupt embedding cache (" + what +
-                                         "): " + path);
+  // Every rejection names the failed check and the byte offset the
+  // reader had reached — enough to localize a flipped byte or a
+  // truncation without a hex dump. fault_injection_test asserts this.
+  auto corrupt = [&path, &r, file_size](const std::string& what) {
+    return core::Status::InvalidArgument(
+        "corrupt embedding cache (" + what + " at offset " +
+        std::to_string(file_size - r.remaining()) + "): " + path);
   };
 
   char magic[8];

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/concurrent_cache.h"
+#include "core/hash_index.h"
 #include "core/status.h"
 
 namespace promptem::em {
@@ -34,11 +35,19 @@ class EmbeddingCache {
  public:
   static constexpr size_t kDefaultCapacity = 1u << 18;
 
+  /// Where the persisted store lives.
+  ///  - kRam: the legacy "PEMEMBC1" flat file; Load materializes every
+  ///    entry into the in-process cache up front.
+  ///  - kMmap: a core::HashIndex file. Entries are read in place from
+  ///    the mapping on first touch (a restart warm-starts without
+  ///    round-tripping the whole store through RAM), and a flush only
+  ///    stages the in-process overlay — untouched persisted entries
+  ///    stream file -> file through the index's atomic tmp+rename grow.
+  enum class CacheBackend { kRam, kMmap };
+
   explicit EmbeddingCache(size_t capacity = kDefaultCapacity);
 
-  std::shared_ptr<const std::vector<float>> Find(uint64_t key) {
-    return cache_.Find(key);
-  }
+  std::shared_ptr<const std::vector<float>> Find(uint64_t key);
   void Insert(uint64_t key, std::vector<float> embedding);
 
   /// Drops every entry (O(1), lazy reclamation).
@@ -65,6 +74,23 @@ class EmbeddingCache {
   /// structure checks. On any error the cache is left exactly as it was —
   /// a corrupt file is rejected wholesale, never partially trusted.
   core::Status Load(const std::string& path);
+
+  /// Binds this cache to a persistent store at `path`. kRam is exactly
+  /// Load. kMmap opens (or lazily creates) a HashIndex file: reads fall
+  /// through the in-process cache to the mapping, flushes through Save /
+  /// autosave grow the file in place of rewriting the overlay only. A
+  /// legacy "PEMEMBC1" file at `path` is loaded into the overlay and
+  /// migrated to the index format by the next flush. Returns NotFound
+  /// when no file exists yet (the store is still attached — a cold
+  /// start); corruption is rejected wholesale and nothing is attached.
+  /// Call before the cache is shared across threads.
+  core::Status Attach(const std::string& path, CacheBackend backend);
+
+  CacheBackend backend() const { return backend_; }
+  /// Keys in the attached mmap store (0 when kRam / unattached).
+  size_t PersistedEntries() const {
+    return base_ ? base_->key_count() : 0;
+  }
 
   /// Crash-durable persistence: after every `every_n_inserts` Inserts the
   /// inserting thread flushes the cache to `path` through Save's atomic
@@ -98,10 +124,20 @@ class EmbeddingCache {
 
  private:
   core::Status SaveUnlocked(const std::string& path) const;
+  /// Legacy-format write of the overlay merged over the mmap base (the
+  /// kRam Save, and Save-to-a-different-path under kMmap).
+  core::Status SaveLegacyUnlocked(const std::string& path) const;
   /// Flush if no other flush is running (never blocks the inserter).
   void MaybeAutosave();
 
   core::ConcurrentCache<std::vector<float>> cache_;
+
+  // Persistent-store binding. Written only by Attach (before the cache
+  // is shared); base_ itself is internally thread-safe (snapshot reads,
+  // serialized seals under save_mu_).
+  CacheBackend backend_ = CacheBackend::kRam;
+  std::string attach_path_;
+  std::shared_ptr<core::HashIndex> base_;
 
   // Autosave state. `save_mu_` serializes every flush (autosave or
   // FlushNow) so two threads can never interleave writes to `path.tmp`.

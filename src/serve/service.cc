@@ -289,6 +289,14 @@ std::string MatchService::InfoJson() const {
       {"default_matcher", data::Value::Str(config_.default_matcher)},
       {"score_cache",
        data::Value::Num(config_.score_cache != nullptr ? 1 : 0)},
+      // Entries resident in the warm store without having been
+      // materialized: nonzero only for an mmap-attached cache, where a
+      // restart serves straight from the mapping.
+      {"score_cache_persisted",
+       data::Value::Num(config_.score_cache != nullptr
+                            ? static_cast<double>(
+                                  config_.score_cache->PersistedEntries())
+                            : 0)},
   }));
 }
 

@@ -50,7 +50,11 @@ class MatchService {
     /// restarted over the same tables and seed warm-starts: previously
     /// served pairs hit without touching the model. Also installable as
     /// the global embedding cache so startup training's clustering
-    /// sweeps share the file.
+    /// sweeps share the file. Attach the cache with CacheBackend::kMmap
+    /// (`--cache-backend mmap`) and the warm start reads the store in
+    /// place from the mapping — a daemon restart over a beyond-RAM
+    /// corpus never materializes the full cache (InfoJson reports the
+    /// mapped entry count as `score_cache_persisted`).
     std::shared_ptr<em::EmbeddingCache> score_cache;
   };
 

@@ -672,6 +672,179 @@ TEST(IncrementalMatcherTest, SameContentUpsertRescoresExactlyTouchedPairs) {
   EXPECT_LT(counting.last_stats().rescored, full_candidates / 10);
 }
 
+// ---------------------------------------------------------------------------
+// EmbeddingCache over the storage-backed hash index (DESIGN.md §15): the
+// mmap backend is a pure backing-store swap — values served in place from
+// the mapping are bitwise the values the flat-file path serves from RAM.
+// ---------------------------------------------------------------------------
+
+TEST(EmbeddingCacheTest, MmapBackendServesBitwiseEqualValues) {
+  const std::string ram_path =
+      (fs::path(::testing::TempDir()) / "cache_parity.embcache").string();
+  const std::string mmap_path =
+      (fs::path(::testing::TempDir()) / "cache_parity.phx").string();
+  fs::remove(ram_path);
+  fs::remove(mmap_path);
+
+  const uint64_t tag = em::EmbeddingCache::ContextTag(0xAAu, 0xBBu);
+  core::Rng rng(11);
+  std::vector<std::pair<uint64_t, std::vector<float>>> entries;
+  for (int i = 0; i < 23; ++i) {
+    std::vector<float> v(static_cast<size_t>(1 + i % 7));
+    for (auto& f : v) f = rng.Gaussian();
+    entries.emplace_back(em::EmbeddingCache::PairKey(tag, i, i + 1),
+                         std::move(v));
+  }
+
+  // Writer processes, one per backend.
+  {
+    em::EmbeddingCache ram(64);
+    ASSERT_EQ(ram.Attach(ram_path, em::EmbeddingCache::CacheBackend::kRam)
+                  .code(),
+              core::StatusCode::kNotFound);
+    em::EmbeddingCache mm(64);
+    ASSERT_EQ(mm.Attach(mmap_path, em::EmbeddingCache::CacheBackend::kMmap)
+                  .code(),
+              core::StatusCode::kNotFound);  // cold start, binding live
+    for (const auto& [key, v] : entries) {
+      ram.Insert(key, v);
+      mm.Insert(key, v);
+    }
+    ASSERT_TRUE(ram.Save(ram_path).ok());
+    ASSERT_TRUE(mm.Save(mmap_path).ok());
+  }
+
+  // Reader processes: the mmap cache starts with an EMPTY overlay (no
+  // load) and faults values in straight from the mapping.
+  em::EmbeddingCache ram(64);
+  ASSERT_TRUE(
+      ram.Attach(ram_path, em::EmbeddingCache::CacheBackend::kRam).ok());
+  em::EmbeddingCache mm(64);
+  ASSERT_TRUE(
+      mm.Attach(mmap_path, em::EmbeddingCache::CacheBackend::kMmap).ok());
+  EXPECT_EQ(mm.PersistedEntries(), entries.size());
+  for (const auto& [key, v] : entries) {
+    auto from_ram = ram.Find(key);
+    auto from_map = mm.Find(key);
+    ASSERT_NE(from_ram, nullptr);
+    ASSERT_NE(from_map, nullptr);
+    EXPECT_EQ(*from_ram, v);
+    EXPECT_EQ(*from_map, v);  // float-exact through the mapping
+  }
+  // Absent keys miss in both.
+  EXPECT_EQ(mm.Find(em::EmbeddingCache::PairKey(tag, 999, 1000)), nullptr);
+  fs::remove(ram_path);
+  fs::remove(mmap_path);
+}
+
+TEST(EmbeddingCacheTest, LegacyFlatFileMigratesToIndexOnFlush) {
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "cache_migrate.embcache").string();
+  fs::remove(path);
+  const uint64_t tag = em::EmbeddingCache::ContextTag(0x33u, 0x44u);
+  std::vector<std::pair<uint64_t, std::vector<float>>> entries;
+  for (int i = 0; i < 7; ++i) {
+    entries.emplace_back(em::EmbeddingCache::PairKey(tag, i, i),
+                         std::vector<float>(3, 0.5f * i));
+  }
+  {
+    em::EmbeddingCache legacy(64);
+    for (const auto& [key, v] : entries) legacy.Insert(key, v);
+    ASSERT_TRUE(legacy.Save(path).ok());  // "PEMEMBC1" flat file
+  }
+  // Attaching the legacy file in mmap mode loads it once into the
+  // overlay; the next flush rewrites the path in the index format.
+  em::EmbeddingCache cache(64);
+  ASSERT_TRUE(
+      cache.Attach(path, em::EmbeddingCache::CacheBackend::kMmap).ok());
+  EXPECT_EQ(cache.LiveEntries(), entries.size());
+  EXPECT_EQ(cache.PersistedEntries(), 0u) << "not an index file yet";
+  ASSERT_TRUE(cache.Save(path).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    char magic[8] = {0};
+    in.read(magic, sizeof(magic));
+    EXPECT_EQ(std::string(magic, 8), "PEMHIDX1") << "flush did not migrate";
+  }
+  // A restarted process reads every migrated value in place.
+  em::EmbeddingCache restarted(64);
+  ASSERT_TRUE(
+      restarted.Attach(path, em::EmbeddingCache::CacheBackend::kMmap).ok());
+  EXPECT_EQ(restarted.PersistedEntries(), entries.size());
+  for (const auto& [key, v] : entries) {
+    auto hit = restarted.Find(key);
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(*hit, v);
+  }
+  fs::remove(path);
+}
+
+TEST(IncrementalMatcherTest, PersistentStoreWarmStartsAFreshMatcher) {
+  // The serving seam: a persistent cache shared across matcher lifetimes
+  // (standing in for daemon restarts) must let the second matcher serve
+  // every version-0 pair from the store — zero re-scoring — with results
+  // bitwise equal to computing from scratch.
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "warm_start.phx").string();
+  fs::remove(path);
+  const uint64_t tag = em::EmbeddingCache::ContextTag(0x55u, 0x66u);
+  const em::IncrementalMatcher::ScorerFactory scorer =
+      [](const data::GemDataset&) { return HashStubScorer(); };
+  const em::IncrementalMatcher::BlockerFactory blocker =
+      [](const data::GemDataset& d) {
+        return std::unique_ptr<data::Blocker>(
+            std::make_unique<data::MinHashBlocker>(d.left_table,
+                                                   d.right_table));
+      };
+
+  em::MatchPipelineResult first_result;
+  size_t full_candidates = 0;
+  {
+    auto persistent = std::make_shared<em::EmbeddingCache>(1u << 14);
+    ASSERT_EQ(persistent
+                  ->Attach(path, em::EmbeddingCache::CacheBackend::kMmap)
+                  .code(),
+              core::StatusCode::kNotFound);
+    em::IncrementalMatcher::Config config;
+    config.persistent = persistent;
+    config.persistent_tag = tag;
+    em::IncrementalMatcher first(SyntheticDataset(), scorer, blocker,
+                                 config);
+    first_result = first.FullMatch();
+    full_candidates = first.last_stats().candidates;
+    ASSERT_GT(full_candidates, 0u);
+    EXPECT_EQ(first.last_stats().rescored, full_candidates);
+    ASSERT_TRUE(persistent->Save(path).ok());  // "process" exits
+  }
+
+  // Fresh matcher, fresh cache object, same store: warm start.
+  auto persistent = std::make_shared<em::EmbeddingCache>(1u << 14);
+  ASSERT_TRUE(
+      persistent->Attach(path, em::EmbeddingCache::CacheBackend::kMmap)
+          .ok());
+  EXPECT_EQ(persistent->PersistedEntries(), full_candidates);
+  em::IncrementalMatcher::Config config;
+  config.persistent = persistent;
+  config.persistent_tag = tag;
+  em::IncrementalMatcher second(SyntheticDataset(), scorer, blocker,
+                                config);
+  const em::MatchPipelineResult warm = second.FullMatch();
+  EXPECT_EQ(second.last_stats().candidates, full_candidates);
+  EXPECT_EQ(second.last_stats().rescored, 0u) << "warm start re-scored";
+  EXPECT_EQ(second.last_stats().reused, full_candidates);
+  EXPECT_TRUE(SameResult(warm, first_result));
+
+  // Touched records drop out of the persistent key space: an upsert must
+  // re-score exactly its own candidates even with the store attached.
+  em::RecordDelta delta;
+  delta.upserts.push_back(
+      {false, 9, second.dataset().right_table[10]});
+  second.ApplyDelta(delta);
+  EXPECT_GT(second.last_stats().rescored, 0u);
+  EXPECT_LT(second.last_stats().rescored, full_candidates / 4);
+  fs::remove(path);
+}
+
 TEST(IncrementalMatcherTest, DeleteThenReviveRestoresOriginalResult) {
   auto matcher = MakeMatcher(SyntheticDataset());
   const em::MatchPipelineResult original = matcher->FullMatch();

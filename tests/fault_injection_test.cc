@@ -14,6 +14,7 @@
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -21,6 +22,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/hash_index.h"
 #include "data/io.h"
 #include "lm/pretrained_lm.h"
 #include "nn/layers.h"
@@ -413,6 +415,199 @@ TEST(EmbedCacheFaultTest, SigkillDuringAutosaveLeavesOldOrNewFileOnly) {
       ASSERT_NE(entry, nullptr) << "missing key " << key << " in a "
                                 << survivor.LiveEntries() << "-entry file";
       EXPECT_EQ(*entry, value_for(key)) << "key " << key;
+    }
+  }
+}
+
+TEST(EmbedCacheFaultTest, RejectionMessagesCarryPathOffsetAndCheck) {
+  // The satellite contract for load failures: the Status message alone
+  // must say which file, where in it, and which check tripped — enough
+  // to diagnose a bad cache from a log line without re-running anything.
+  ScratchDir dir("promptem_fault_emb_msg");
+  const std::string good = ReadFileBytes(SaveReferenceEmbedCache(dir));
+  const std::string victim = dir.File("diagnose.embcache");
+  struct Case {
+    std::string bytes;
+    const char* check;  // substring naming the failed check
+  };
+  const std::vector<Case> cases = {
+      {FlipByte(good, 0, 0xFF), "bad magic"},
+      {FlipByte(good, 8, 0xFF), "endianness mismatch"},
+      {FlipByte(good, good.size() / 2, 0x01), "checksum mismatch"},
+      {good.substr(0, good.size() - 4), "exceeds file size"},
+      {good + std::string(4, '\x00'), "trailing garbage"},
+  };
+  for (const Case& c : cases) {
+    WriteFileBytes(victim, c.bytes);
+    em::EmbeddingCache fresh(64);
+    const core::Status st = fresh.Load(victim);
+    ASSERT_FALSE(st.ok()) << c.check;
+    EXPECT_NE(st.message().find(victim), std::string::npos)
+        << "no path in: " << st.ToString();
+    EXPECT_NE(st.message().find("at offset"), std::string::npos)
+        << "no offset in: " << st.ToString();
+    EXPECT_NE(st.message().find(c.check), std::string::npos)
+        << "expected '" << c.check << "' in: " << st.ToString();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mmap-backed hash index files ("PEMHIDX1", the band-table / embed-cache
+// backing store): the same exhaustive sweep. Because readers map the file
+// and dereference slots in place, wholesale up-front rejection is the
+// only thing standing between a bad byte and a wild pointer — every flip
+// and truncation must fail Open before any entry is visible, and the
+// message must carry path, offset, and the failed check.
+// ---------------------------------------------------------------------------
+
+std::vector<uint8_t> IndexValueFor(uint64_t key) {
+  uint64_t v = key * 0x9E3779B97F4A7C15ULL;
+  std::vector<uint8_t> bytes(sizeof(v));
+  std::memcpy(bytes.data(), &v, sizeof(v));
+  return bytes;
+}
+
+std::string SaveReferenceHashIndex(const ScratchDir& dir) {
+  core::HashIndex::Options options;
+  options.backend = core::HashIndex::Backend::kMmap;
+  options.path = dir.File("ref.phx");
+  core::HashIndex index(options);
+  for (uint64_t key = 1; key <= 21; ++key) {
+    const auto value = IndexValueFor(key);
+    index.Add(key, 0, value.data(), value.size());
+  }
+  EXPECT_TRUE(index.Seal().ok());
+  return options.path;
+}
+
+TEST(HashIndexFaultTest, EveryByteFlipIsDetected) {
+  ScratchDir dir("promptem_fault_phx_flip");
+  const std::string good = ReadFileBytes(SaveReferenceHashIndex(dir));
+  const std::string victim = dir.File("flipped.phx");
+  for (size_t i = 0; i < good.size(); ++i) {
+    for (unsigned char mask : {0x01, 0xFF}) {
+      WriteFileBytes(victim, FlipByte(good, i, mask));
+      auto opened = core::HashIndex::Open(victim);
+      EXPECT_FALSE(opened.ok()) << "flip at byte " << i << " mask "
+                                << static_cast<int>(mask)
+                                << " went undetected";
+      if (!opened.ok()) {
+        EXPECT_NE(opened.status().message().find(victim), std::string::npos)
+            << "no path in: " << opened.status().ToString();
+        EXPECT_NE(opened.status().message().find("at offset"),
+                  std::string::npos)
+            << "no offset in: " << opened.status().ToString();
+      }
+    }
+  }
+}
+
+TEST(HashIndexFaultTest, EveryTruncationIsDetected) {
+  ScratchDir dir("promptem_fault_phx_trunc");
+  const std::string good = ReadFileBytes(SaveReferenceHashIndex(dir));
+  const std::string victim = dir.File("truncated.phx");
+  for (size_t len = 0; len < good.size(); ++len) {
+    WriteFileBytes(victim, good.substr(0, len));
+    EXPECT_FALSE(core::HashIndex::Open(victim).ok())
+        << "truncation to " << len << " bytes went undetected";
+  }
+}
+
+TEST(HashIndexFaultTest, TrailingGarbageIsDetected) {
+  ScratchDir dir("promptem_fault_phx_trail");
+  const std::string good = ReadFileBytes(SaveReferenceHashIndex(dir));
+  const std::string victim = dir.File("trailing.phx");
+  WriteFileBytes(victim, good + std::string(13, '\x5A'));
+  auto opened = core::HashIndex::Open(victim);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_NE(opened.status().message().find("size"), std::string::npos)
+      << opened.status().ToString();
+}
+
+TEST(HashIndexFaultTest, CorruptAttachedStoreIsRejectedWholesale) {
+  // The embed-cache seam over the same files: Attach must reject a bad
+  // store entirely (never a partial view) while keeping the binding
+  // live, so the rebuild's next flush replaces the bad file.
+  ScratchDir dir("promptem_fault_phx_attach");
+  const std::string good = ReadFileBytes(SaveReferenceHashIndex(dir));
+  const std::string victim = dir.File("store.phx");
+  WriteFileBytes(victim, FlipByte(good, good.size() / 2, 0xFF));
+  em::EmbeddingCache cache(64);
+  const core::Status st =
+      cache.Attach(victim, em::EmbeddingCache::CacheBackend::kMmap);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.code(), core::StatusCode::kNotFound);
+  EXPECT_EQ(cache.PersistedEntries(), 0u) << "partial load leaked through";
+  cache.Insert(42u, {1.0f, 2.0f});
+  ASSERT_TRUE(cache.Save(victim).ok());
+  auto reopened = core::HashIndex::Open(victim);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ(reopened.value()->key_count(), 1u);
+}
+
+TEST(HashIndexFaultTest, SigkillDuringGrowthLeavesOldOrNewGenerationOnly) {
+  // The re-seal crash contract (mirrors the autosave sweep above): a
+  // process killed at any instant while growing the index leaves either
+  // the previous complete generation or the new one — never a torn file.
+  // Every payload is a pure function of its key, so the parent verifies
+  // whichever generation survived in full.
+  ScratchDir dir("promptem_fault_phx_kill");
+  const std::string path = dir.File("grown.phx");
+  constexpr uint64_t kGen1Keys = 200;
+  constexpr uint64_t kGen2Keys = 400;
+  for (const int delay_us : {0, 500, 1500, 4000, 9000, 20000}) {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+    const pid_t child = fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+      core::HashIndex::Options options;
+      options.backend = core::HashIndex::Backend::kMmap;
+      options.path = path;
+      core::HashIndex index(options);
+      for (uint64_t key = 1; key <= kGen1Keys; ++key) {
+        const auto value = IndexValueFor(key);
+        index.Add(key, 0, value.data(), value.size());
+      }
+      if (!index.Seal().ok()) std::_Exit(3);
+      // Keep re-sealing growing generations until killed; the parent's
+      // delay lands the SIGKILL inside a tmp-file write or rename.
+      for (uint64_t next = kGen1Keys + 1;; next += kGen1Keys) {
+        for (uint64_t key = next; key < next + kGen1Keys; ++key) {
+          const auto value = IndexValueFor(key);
+          index.Add(key, 0, value.data(), value.size());
+        }
+        if (!index.Seal().ok()) std::_Exit(3);
+        if (next >= kGen2Keys) std::_Exit(0);  // bounded for delay > work
+      }
+    }
+    ::usleep(static_cast<useconds_t>(delay_us));
+    ::kill(child, SIGKILL);
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+
+    auto survivor = core::HashIndex::Open(path);
+    if (!survivor.ok()) {
+      // Killed before the first rename landed — acceptable only as "no
+      // complete file yet", never as a torn one.
+      EXPECT_EQ(survivor.status().code(), core::StatusCode::kNotFound)
+          << "torn growth after " << delay_us
+          << "us: " << survivor.status().ToString();
+      continue;
+    }
+    const auto snapshot = survivor.value()->snapshot();
+    const uint64_t keys = snapshot.key_count();
+    EXPECT_EQ(keys % kGen1Keys, 0u)
+        << "file holds a fractional generation (" << keys << " keys)";
+    EXPECT_GE(keys, kGen1Keys);
+    for (uint64_t key = 1; key <= keys; ++key) {
+      const auto span = snapshot.Find(key);
+      ASSERT_NE(span.data, nullptr) << "missing key " << key << " in a "
+                                    << keys << "-key file";
+      const auto expect = IndexValueFor(key);
+      ASSERT_EQ(span.size, expect.size());
+      EXPECT_EQ(std::memcmp(span.data, expect.data(), expect.size()), 0)
+          << "key " << key;
     }
   }
 }

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "baselines/matchers.h"
+#include "core/mem_tracker.h"
 #include "core/signals.h"
 #include "core/string_util.h"
 #include "core/table_printer.h"
@@ -80,6 +81,11 @@ void PrintUsage() {
       "  --flush-every N with --embed-cache: additionally flush the cache\n"
       "                  every N inserts (crash durability; default 0 =\n"
       "                  only at exit and on signals)\n"
+      "  --cache-backend B  backing store for --embed-cache: ram (default,\n"
+      "                  flat file loaded whole) or mmap (storage-backed\n"
+      "                  hash index read in place — the cache never has to\n"
+      "                  fit in memory; a legacy ram file at the same path\n"
+      "                  is migrated at the next flush)\n"
       "  --export DIR    write the dataset to DIR and exit\n"
       "promptem_cli --match-tables [--synthetic N | --left STEM --right STEM]\n"
       "             [--blocker B] [--block-top-k K] [--chunk-size C]\n"
@@ -93,6 +99,9 @@ void PrintUsage() {
       "  with --dataset/--dir alone, matches the dataset's own tables\n"
       "  --blocker B     overlap (default), minhash, or allpairs\n"
       "  --block-top-k K candidates kept per left record (default 10)\n"
+      "  --index-dir DIR minhash only: build the band tables as\n"
+      "                  mmap-backed hash indexes under DIR instead of in\n"
+      "                  RAM (identical candidate stream, bounded memory)\n"
       "  --chunk-size C  candidates scored per chunk (default 4096)\n"
       "  --threshold T   declare a match when P(yes) >= T (default 0.5)\n"
       "  --top-matches M strongest matches to print (default 10)\n"
@@ -103,7 +112,9 @@ void PrintUsage() {
       "promptem_cli --blocking-report (--synthetic N | --dataset NAME |\n"
       "             --dir PATH) [--blocker B] [--block-top-k K]\n"
       "  stream the blocker against the gold matches and report pair\n"
-      "  completeness / reduction ratio (no training involved)\n"
+      "  completeness / reduction ratio plus a memory section: process\n"
+      "  peak RSS and, for minhash, per-band index bytes and bucket-cap\n"
+      "  eviction counts (no training involved)\n"
       "promptem_cli --kernel-info\n"
       "  print detected ISA, active kernel variant, and quantization mode\n"
       "  (PROMPTEM_FORCE_SCALAR=1 pins the portable kernels)");
@@ -165,10 +176,14 @@ bool ParseIntArg(const char* text, long long* out) {
 }
 
 /// Builds the requested blocker over `tables`. The returned blocker keeps
-/// pointers into `tables` (MinHash), which must outlive it.
+/// pointers into `tables` (MinHash), which must outlive it. A non-empty
+/// `index_dir` puts the MinHash band tables on disk (mmap-backed hash
+/// indexes under that directory); the candidate stream is bitwise
+/// identical either way, only the backing store moves.
 std::unique_ptr<data::Blocker> MakeBlocker(const std::string& name,
                                            const data::GemDataset& tables,
-                                           int top_k) {
+                                           int top_k,
+                                           const std::string& index_dir) {
   if (name == "allpairs") {
     return std::make_unique<data::AllPairsBlocker>(tables.left_table.size(),
                                                    tables.right_table.size());
@@ -181,6 +196,10 @@ std::unique_ptr<data::Blocker> MakeBlocker(const std::string& name,
   }
   data::MinHashBlocker::Config config;
   config.top_k = top_k;
+  if (!index_dir.empty()) {
+    config.index_backend = data::MinHashBlocker::IndexBackend::kHashIndexMmap;
+    config.index_dir = index_dir;
+  }
   return std::make_unique<data::MinHashBlocker>(tables.left_table,
                                                 tables.right_table, config);
 }
@@ -220,6 +239,8 @@ int main(int argc, char** argv) {
   long long incremental_rows = 0;
   long long flush_every = 0;
   std::string embed_cache_path;
+  std::string cache_backend = "ram";
+  std::string index_dir;
   std::string pseudo_strategy = "uncertainty";
 
   for (int i = 1; i < argc; ++i) {
@@ -348,6 +369,16 @@ int main(int argc, char** argv) {
       if (!ParseIntArg(value, &flush_every) || flush_every < 0) {
         BadOption(arg, value, "a non-negative insert count");
       }
+    } else if (arg == "--cache-backend") {
+      cache_backend = next();
+      if (cache_backend != "ram" && cache_backend != "mmap") {
+        BadOption(arg, cache_backend.c_str(), "ram or mmap");
+      }
+    } else if (arg == "--index-dir") {
+      index_dir = next();
+      if (index_dir.empty()) {
+        BadOption(arg, "", "a non-empty directory path");
+      }
     } else if (arg == "--pseudo") {
       pseudo_strategy = next();
       em::PseudoLabelStrategy parsed;
@@ -367,6 +398,16 @@ int main(int argc, char** argv) {
   }
   if (flush_every > 0 && embed_cache_path.empty()) {
     std::fprintf(stderr, "--flush-every requires --embed-cache\n");
+    return 2;
+  }
+  if (cache_backend == "mmap" && embed_cache_path.empty()) {
+    std::fprintf(stderr, "--cache-backend mmap requires --embed-cache\n");
+    return 2;
+  }
+  if (!index_dir.empty() && blocker_name != "minhash") {
+    std::fprintf(stderr,
+                 "--index-dir applies to the minhash blocker only "
+                 "(--blocker minhash)\n");
     return 2;
   }
 
@@ -511,7 +552,8 @@ int main(int argc, char** argv) {
   }
 
   if (blocking_report) {
-    auto blocker = MakeBlocker(blocker_name, *match_ds, block_top_k);
+    auto blocker = MakeBlocker(blocker_name, *match_ds, block_top_k,
+                               index_dir);
     const data::BlockingQuality quality = data::EvaluateBlockingStream(
         blocker.get(), gold_matches, static_cast<size_t>(chunk_size));
     core::TablePrinter table({"blocker", "left", "right", "candidates",
@@ -522,6 +564,37 @@ int main(int argc, char** argv) {
                   core::TablePrinter::Pct(quality.pair_completeness),
                   core::TablePrinter::Pct(quality.reduction_ratio)});
     table.Print();
+    // Memory section: the process high-water mark is the number that
+    // makes the in-RAM vs mmap trade visible — the mmap backend keeps
+    // band bytes in the page cache (evictable, charged to the file),
+    // so its RSS peak stays flat where the RAM backend's grows with
+    // the corpus.
+    std::printf("memory: peak RSS %s\n",
+                core::FormatBytes(core::MemTracker::ProcessPeakRssBytes())
+                    .c_str());
+    if (const auto* minhash =
+            dynamic_cast<const data::MinHashBlocker*>(blocker.get())) {
+      const data::MinHashBlocker::IndexStats stats = minhash->index_stats();
+      uint64_t min_band = 0;
+      uint64_t max_band = 0;
+      for (uint64_t bytes : stats.band_bytes) {
+        min_band = min_band == 0 ? bytes : std::min(min_band, bytes);
+        max_band = std::max(max_band, bytes);
+      }
+      std::printf(
+          "minhash index: %zu bands (%s..%s per band), %s in RAM, %s on "
+          "disk\n",
+          stats.band_bytes.size(),
+          core::FormatBytes(static_cast<size_t>(min_band)).c_str(),
+          core::FormatBytes(static_cast<size_t>(max_band)).c_str(),
+          core::FormatBytes(static_cast<size_t>(stats.ram_bytes)).c_str(),
+          core::FormatBytes(static_cast<size_t>(stats.file_bytes)).c_str());
+      std::printf(
+          "minhash bucket cap: %llu buckets over cap, %llu probes "
+          "skipped\n",
+          static_cast<unsigned long long>(stats.buckets_over_cap),
+          static_cast<unsigned long long>(stats.capped_probes));
+    }
     if (!match_tables) return 0;
   }
 
@@ -566,10 +639,20 @@ int main(int argc, char** argv) {
   std::shared_ptr<em::EmbeddingCache> embed_cache;
   if (!embed_cache_path.empty()) {
     embed_cache = std::make_shared<em::EmbeddingCache>();
-    const core::Status loaded = embed_cache->Load(embed_cache_path);
+    const core::Status loaded = embed_cache->Attach(
+        embed_cache_path, cache_backend == "mmap"
+                              ? em::EmbeddingCache::CacheBackend::kMmap
+                              : em::EmbeddingCache::CacheBackend::kRam);
     if (loaded.ok()) {
-      std::printf("embed cache: loaded %zu embeddings from %s\n",
-                  embed_cache->LiveEntries(), embed_cache_path.c_str());
+      if (cache_backend == "mmap") {
+        std::printf("embed cache: attached %zu embeddings in place from "
+                    "%s\n",
+                    embed_cache->PersistedEntries(),
+                    embed_cache_path.c_str());
+      } else {
+        std::printf("embed cache: loaded %zu embeddings from %s\n",
+                    embed_cache->LiveEntries(), embed_cache_path.c_str());
+      }
     } else if (loaded.code() == core::StatusCode::kNotFound) {
       std::printf("embed cache: %s absent, starting empty\n",
                   embed_cache_path.c_str());
@@ -626,7 +709,8 @@ int main(int argc, char** argv) {
   }
 
   if (match_tables) {
-    auto blocker = MakeBlocker(blocker_name, *match_ds, block_top_k);
+    auto blocker = MakeBlocker(blocker_name, *match_ds, block_top_k,
+                               index_dir);
     em::MatchPipelineConfig config;
     config.chunk_size = static_cast<size_t>(chunk_size);
     config.threshold = static_cast<float>(threshold);
@@ -675,8 +759,9 @@ int main(int argc, char** argv) {
                   return matcher_ptr->ScoreProbs(inc_ctx, chunk);
                 });
           },
-          [&blocker_name, block_top_k](const data::GemDataset& ds) {
-            return MakeBlocker(blocker_name, ds, block_top_k);
+          [&blocker_name, block_top_k, &index_dir](
+              const data::GemDataset& ds) {
+            return MakeBlocker(blocker_name, ds, block_top_k, index_dir);
           },
           inc_config);
       inc.FullMatch();
@@ -707,8 +792,13 @@ int main(int argc, char** argv) {
                    saved.ToString().c_str());
       return 1;
     }
-    std::printf("embed cache: saved %zu embeddings to %s\n",
-                embed_cache->LiveEntries(), embed_cache_path.c_str());
+    if (cache_backend == "mmap") {
+      std::printf("embed cache: sealed %zu embeddings into %s\n",
+                  embed_cache->PersistedEntries(), embed_cache_path.c_str());
+    } else {
+      std::printf("embed cache: saved %zu embeddings to %s\n",
+                  embed_cache->LiveEntries(), embed_cache_path.c_str());
+    }
   }
   return 0;
 }

@@ -28,6 +28,11 @@
 //                     restarted daemon answers previously seen pairs
 //                     without touching the model
 //   --flush-every N   with --embed-cache: also flush every N inserts
+//   --cache-backend B with --embed-cache: ram (default, flat file loaded
+//                     whole at startup) or mmap (storage-backed hash
+//                     index served in place — a restart over a
+//                     beyond-RAM corpus warm-starts without ever
+//                     materializing the full cache)
 //   --queue-depth N   admission-queue capacity; beyond it requests are
 //                     shed with status "overloaded" (default 256)
 //   --max-batch N     max requests coalesced per scoring sweep
@@ -85,6 +90,7 @@ int main(int argc, char** argv) {
   std::string lm_prefix = "promptem_shared_lm";
   std::vector<std::string> matcher_names;
   std::string embed_cache_path;
+  std::string cache_backend = "ram";
   long long synthetic_rows = 0;
   long long port = -1;
   bool stdio_mode = false;
@@ -156,6 +162,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--embed-cache") {
       embed_cache_path = next();
       if (embed_cache_path.empty()) BadOption(arg, "", "a non-empty path");
+    } else if (arg == "--cache-backend") {
+      cache_backend = next();
+      if (cache_backend != "ram" && cache_backend != "mmap") {
+        BadOption(arg, cache_backend.c_str(), "ram or mmap");
+      }
     } else if (arg == "--flush-every") {
       const char* value = next();
       if (!core::ParseInt64(value, &flush_every) || flush_every < 0) {
@@ -199,6 +210,10 @@ int main(int argc, char** argv) {
   }
   if (flush_every > 0 && embed_cache_path.empty()) {
     std::fprintf(stderr, "--flush-every requires --embed-cache\n");
+    return 2;
+  }
+  if (cache_backend == "mmap" && embed_cache_path.empty()) {
+    std::fprintf(stderr, "--cache-backend mmap requires --embed-cache\n");
     return 2;
   }
   // In stdio mode stdout carries the JSONL response stream, so every
@@ -258,10 +273,21 @@ int main(int argc, char** argv) {
   std::shared_ptr<em::EmbeddingCache> embed_cache;
   if (!embed_cache_path.empty()) {
     embed_cache = std::make_shared<em::EmbeddingCache>();
-    const core::Status loaded = embed_cache->Load(embed_cache_path);
+    const core::Status loaded = embed_cache->Attach(
+        embed_cache_path, cache_backend == "mmap"
+                              ? em::EmbeddingCache::CacheBackend::kMmap
+                              : em::EmbeddingCache::CacheBackend::kRam);
     if (loaded.ok()) {
-      std::fprintf(status_out, "embed cache: loaded %zu entries from %s\n",
-                  embed_cache->LiveEntries(), embed_cache_path.c_str());
+      if (cache_backend == "mmap") {
+        std::fprintf(status_out,
+                     "embed cache: attached %zu entries in place from %s\n",
+                     embed_cache->PersistedEntries(),
+                     embed_cache_path.c_str());
+      } else {
+        std::fprintf(status_out,
+                     "embed cache: loaded %zu entries from %s\n",
+                     embed_cache->LiveEntries(), embed_cache_path.c_str());
+      }
     } else if (loaded.code() == core::StatusCode::kNotFound) {
       std::fprintf(status_out, "embed cache: %s absent, starting empty\n",
                   embed_cache_path.c_str());

@@ -46,7 +46,8 @@ echo "run_bench.sh: recorded $(pwd)/BENCH_micro.json"
 # when a --benchmark_filter pass left them out of the refreshed file.
 for bench in BM_EncodeChunkParallel BM_EmbedCacheHitMiss \
              BM_SelfTrainCached BM_IncrementalMatch \
-             BM_ServeP50 BM_ServeP99 BM_OneShotScore BM_ServeThroughput; do
+             BM_ServeP50 BM_ServeP99 BM_OneShotScore BM_ServeThroughput \
+             BM_BlockScoreMatch_Mmap; do
   if ! grep -q "\"${bench}" BENCH_micro.json; then
     echo "run_bench.sh: warning: ${bench} missing from BENCH_micro.json" \
          "(filtered run? re-run without --benchmark_filter to record the" \
